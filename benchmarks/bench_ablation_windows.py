@@ -1,0 +1,86 @@
+"""Ablation AB1 — basic-window width (§3.1 design choice).
+
+DESIGN.md fixes ``bw = gcd(size, slide)`` — the *coarsest* partition that
+still aligns with every window boundary.  This ablation forces finer
+widths and measures the cost: each emission merges ``size/bw`` summaries,
+so halving bw doubles merge work without touching any fewer tuples.  The
+gcd choice is therefore optimal within the basic-window design space, and
+the table shows by how much.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import print_table, record_result
+from repro.core.basket import Basket
+from repro.core.clock import LogicalClock
+from repro.core.factory import ConsumeMode, Factory, InputBinding
+from repro.core.windows import (
+    IncrementalWindowAggregatePlan,
+    WindowMode,
+    WindowSpec,
+)
+from repro.kernel.types import AtomType
+
+N_TUPLES = 30_000
+SIZE, SLIDE = 2_000, 500  # natural bw = gcd = 500
+BW_CHOICES = [500, 250, 100, 50, 10]
+CHUNK = 500
+
+
+def run(bw: int):
+    clock = LogicalClock()
+    inp = Basket("w_in", [("v", AtomType.DBL)], clock)
+    plan = IncrementalWindowAggregatePlan(
+        "w_in", "v", ["sum", "min", "max"],
+        WindowSpec(WindowMode.COUNT, SIZE, SLIDE), "w_out",
+        bw_override=bw,
+    )
+    out = Basket("w_out", plan.output_schema(), clock)
+    factory = Factory("w", plan, [InputBinding(inp, ConsumeMode.ALL)], [out])
+    rng = np.random.default_rng(12)
+    values = rng.uniform(0, 100, N_TUPLES)
+    started = time.perf_counter()
+    for i in range(0, N_TUPLES, CHUNK):
+        inp.insert_rows([(float(v),) for v in values[i : i + CHUNK]])
+        factory.activate()
+        out.consume_all()
+    elapsed = time.perf_counter() - started
+    return elapsed, plan
+
+
+def test_basic_window_width_ablation(benchmark):
+    table = []
+    series = []
+    reference_rows = None
+    for bw in BW_CHOICES:
+        elapsed, plan = run(bw)
+        table.append(
+            (bw, SIZE // bw, plan.merges_done, plan.windows_emitted, elapsed)
+        )
+        series.append(
+            {"bw": bw, "merges": plan.merges_done, "seconds": elapsed}
+        )
+        if reference_rows is None:
+            reference_rows = plan.windows_emitted
+        else:
+            assert plan.windows_emitted == reference_rows, (
+                "bw is an implementation knob: results must not change"
+            )
+    print_table(
+        f"AB1: basic-window width ablation (window={SIZE}, slide={SLIDE})",
+        ["bw", "summaries/window", "total merges", "windows", "seconds"],
+        table,
+    )
+    record_result(
+        "AB1",
+        {"claim": "bw = gcd(size, slide) minimizes merge work",
+         "series": series},
+    )
+    merges = {bw: m for bw, _, m, _, _ in table}
+    assert merges[10] > merges[500] * 10, (
+        "finer basic windows must multiply merge work"
+    )
+
+    benchmark(lambda: run(500))

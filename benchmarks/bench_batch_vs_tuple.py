@@ -1,0 +1,98 @@
+"""Experiment B1 — batch (DataCell) vs tuple-at-a-time (specialized DSMS).
+
+Paper claim (§4): "Tuple-at-a-time processing, used in other systems,
+incurs a significant overhead while batch processing provides the
+flexibility for better query scheduling, and exploitation of the system
+resources."
+
+Both engines run the same standing selection over the same stream.  The
+DataCell side processes basket batches through columnar kernel operators;
+the baseline dispatches every tuple through an operator pipeline.
+
+Reported series: ingest batch size vs throughput for the DataCell, with
+the tuple-engine's (batch-independent) throughput as the baseline line.
+Shape: DataCell at batch>=100 beats the tuple engine by a growing factor;
+at batch=1 the DataCell's scheduling overhead makes it comparable or
+slower — batching is exactly what buys the win.
+"""
+
+import time
+
+from repro.adapters.generators import uniform_ints
+from repro.baselines import SelectOperator, TupleEngine
+from repro.bench import print_table, record_result
+from repro.core.basket import Basket
+from repro.core.clock import LogicalClock
+from repro.core.factory import ConsumeMode, Factory, InputBinding
+from repro.core.strategies import RangeQuery, SelectPlan
+from repro.kernel.types import AtomType
+
+N_TUPLES = 50_000
+BATCHES = [1, 10, 100, 1_000, 10_000]
+
+
+def tuple_engine_throughput(rows) -> float:
+    engine = TupleEngine()
+    engine.register("q", SelectOperator(lambda r: 100 <= r[0] <= 200))
+    started = time.perf_counter()
+    engine.push_many(rows)
+    elapsed = time.perf_counter() - started
+    return len(rows) / elapsed
+
+
+def datacell_throughput(rows, batch: int) -> float:
+    """Rows arrive pre-parsed in both engines; this measures the
+    *processing model* — columnar bulk evaluation vs per-tuple operator
+    dispatch — which is the §4 comparison."""
+    clock = LogicalClock()
+    b1 = Basket("b1", [("v", AtomType.INT)], clock)
+    b2 = Basket("b2", [("v", AtomType.INT)], clock)
+    plan = SelectPlan(RangeQuery("q", "v", 100, 200), "b1", "b2")
+    factory = Factory("q", plan, [InputBinding(b1, ConsumeMode.ALL)], [b2])
+    started = time.perf_counter()
+    for i in range(0, len(rows), batch):
+        b1.insert_rows(rows[i : i + batch])
+        factory.activate()
+        b2.consume_all()
+    elapsed = time.perf_counter() - started
+    return len(rows) / elapsed
+
+
+def test_batch_vs_tuple_at_a_time(benchmark):
+    rows = uniform_ints(N_TUPLES, 0, 1000, seed=21)
+    baseline = max(tuple_engine_throughput(rows) for _ in range(3))
+    table = []
+    series = []
+    for batch in BATCHES:
+        repeats = 3 if batch >= 100 else 1
+        throughput = max(
+            datacell_throughput(rows, batch) for _ in range(repeats)
+        )
+        table.append((batch, throughput, baseline, throughput / baseline))
+        series.append({"batch": batch, "datacell": throughput})
+    print_table(
+        "B1: DataCell (batched) vs tuple-at-a-time DSMS baseline",
+        ["batch", "datacell tuples/s", "tuple-engine tuples/s", "ratio"],
+        table,
+    )
+    record_result(
+        "B1",
+        {
+            "claim": "batch processing beats tuple-at-a-time",
+            "baseline_throughput": baseline,
+            "series": series,
+        },
+    )
+    ratios = {b: r for b, _, _, r in table}
+    assert ratios[10_000] > 1.0, (
+        "batched DataCell must beat the tuple-at-a-time baseline"
+    )
+    assert ratios[10_000] > ratios[1] * 3, (
+        "the win must come from batching (crossover shape)"
+    )
+    assert ratios[1] < 1.0, (
+        "at batch=1 the DataCell's activation overhead should lose — "
+        "that crossover is the paper's argument for batching"
+    )
+
+    benchmark(lambda: datacell_throughput(rows, 10_000))

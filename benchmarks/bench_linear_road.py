@@ -1,0 +1,87 @@
+"""Experiment LR — Linear Road (paper §5).
+
+Paper claim: the DataCell prototype "was able to achieve out of the box
+good performance on the Linear Road benchmark".  The benchmark's own
+success criterion: every toll/accident notification must be issued within
+5 seconds of the triggering position report, for a given scale L.
+
+We replay simulated traffic (see DESIGN.md substitution note) through the
+full query network — shared position basket, segment-statistics, accident
+and toll factories, emitters — tick by tick, and report per-scale:
+reports processed, notifications, max/avg per-tick response time, report
+throughput, whether the 5s deadline held, and whether the outputs match
+the independent oracle.
+
+Shape to reproduce: the deadline holds with headroom at laptop scales and
+response time grows with L.
+"""
+
+from repro.bench import print_table, record_result
+from repro.linearroad import LinearRoadConfig, LinearRoadHarness
+
+SCALES = [0.25, 0.5, 1.0]
+
+
+def run(scale: float):
+    config = LinearRoadConfig(
+        scale=scale,
+        duration=300,
+        cars_per_minute=300,
+        accident_probability=0.003,
+        seed=17,
+    )
+    harness = LinearRoadHarness(config)
+    return harness.run()
+
+
+def test_linear_road(benchmark):
+    table = []
+    series = []
+    results = {}
+    for scale in SCALES:
+        result = run(scale)
+        assert result.valid, result.validation_problems
+        nonzero = sum(1 for t in result.tolls if t[3] > 0)
+        table.append(
+            (
+                scale,
+                result.reports,
+                len(result.tolls),
+                nonzero,
+                len(result.alerts),
+                result.max_response_time,
+                result.avg_response_time,
+                result.throughput,
+                "yes" if result.meets_deadline else "NO",
+            )
+        )
+        series.append(
+            {
+                "scale": scale,
+                "reports": result.reports,
+                "tolls": len(result.tolls),
+                "nonzero_tolls": nonzero,
+                "alerts": len(result.alerts),
+                "max_response_s": result.max_response_time,
+                "throughput": result.throughput,
+                "meets_deadline": result.meets_deadline,
+            }
+        )
+        results[scale] = result
+    print_table(
+        "LR: Linear Road, validated runs per scale",
+        ["L", "reports", "tolls", "nonzero", "alerts", "max rt (s)",
+         "avg rt (s)", "reports/s", "5s deadline"],
+        table,
+    )
+    record_result(
+        "LR",
+        {"claim": "out-of-the-box good performance on Linear Road",
+         "series": series},
+    )
+    assert all(r.meets_deadline for r in results.values()), (
+        "the 5-second notification deadline must hold at all scales"
+    )
+    assert results[1.0].reports > results[0.25].reports
+
+    benchmark(lambda: run(0.25))

@@ -1,0 +1,98 @@
+"""Experiment S1 — separate vs shared baskets (paper §2.5).
+
+Paper claim: "sharing baskets minimizes the overhead of replicating the
+stream in the proper baskets" — the separate-baskets strategy pays one
+copy of every tuple per query, so its cost grows with the number of
+standing queries while shared baskets ingest each tuple once.
+
+Reported table: #queries vs wall time and tuples *copied* for both
+strategies.  Shape: separate's copy count = N*k and its runtime gap vs
+shared grows with k.
+"""
+
+import time
+
+from repro.adapters.generators import uniform_ints
+from repro.bench import print_table, record_result
+from repro.core.basket import Basket
+from repro.core.clock import LogicalClock
+from repro.core.scheduler import Scheduler
+from repro.core.strategies import (
+    RangeQuery,
+    build_separate_pipeline,
+    build_shared_pipeline,
+)
+from repro.kernel.types import AtomType
+
+N_TUPLES = 5_000
+QUERY_COUNTS = [1, 2, 4, 8, 16, 32]
+CHUNK = 500
+
+
+def run_strategy(builder, n_queries: int):
+    clock = LogicalClock()
+    stream = Basket("s", [("v", AtomType.INT)], clock)
+    queries = [
+        RangeQuery(f"q{i}", "v", i * 10, i * 10 + 9)
+        for i in range(n_queries)
+    ]
+    net = builder(stream, queries, clock)
+    scheduler = Scheduler()
+    for transition in net.all_transitions():
+        scheduler.register(transition)
+    rows = uniform_ints(N_TUPLES, 0, 1000, seed=5)
+    started = time.perf_counter()
+    for i in range(0, len(rows), CHUNK):
+        stream.insert_rows(rows[i : i + CHUNK])
+        scheduler.run_until_quiescent()
+    elapsed = time.perf_counter() - started
+    copied = sum(
+        getattr(t, "tuples_copied", 0) for t in net.extra_transitions
+    )
+    return elapsed, copied, net
+
+
+def test_separate_vs_shared_baskets(benchmark):
+    # warm caches/allocator so the k=1 points are not skewed
+    run_strategy(build_separate_pipeline, 1)
+    run_strategy(build_shared_pipeline, 1)
+    rows = []
+    results = {}
+    for k in QUERY_COUNTS:
+        sep_time, sep_copied, _ = run_strategy(build_separate_pipeline, k)
+        sh_time, sh_copied, _ = run_strategy(build_shared_pipeline, k)
+        rows.append(
+            (k, sep_time, sep_copied, sh_time, sh_copied,
+             sep_time / sh_time)
+        )
+        results[k] = (sep_time, sh_time)
+    print_table(
+        "S1: separate vs shared baskets",
+        ["queries", "separate s", "copies", "shared s", "copies",
+         "sep/shared"],
+        rows,
+    )
+    record_result(
+        "S1",
+        {
+            "claim": "shared baskets avoid the per-query stream copy",
+            "series": [
+                {
+                    "queries": k,
+                    "separate_s": r[1],
+                    "separate_copies": r[2],
+                    "shared_s": r[3],
+                }
+                for k, r in zip(QUERY_COUNTS, rows)
+            ],
+        },
+    )
+    # the replication cost is structural: N*k copies vs none
+    assert rows[-1][2] == N_TUPLES * QUERY_COUNTS[-1]
+    assert rows[-1][4] == 0
+    # and at high query counts the copies cost real time
+    assert results[32][0] > results[32][1], (
+        "separate baskets must be slower than shared at 32 queries"
+    )
+
+    benchmark(lambda: run_strategy(build_shared_pipeline, 8))

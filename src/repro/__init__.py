@@ -1,0 +1,55 @@
+"""repro — a reproduction of *DataCell* (Liarou & Kersten, VLDB 2009).
+
+DataCell builds a data-stream engine *on top of* a relational column-store
+kernel instead of designing a DSMS from scratch.  Incoming tuples are
+appended to **baskets** (stream tables); **factories** (continuous query
+plans compiled to the kernel's MAL algebra) consume them under Petri-net
+scheduling; **receptors**/**emitters** connect the engine to the world.
+
+Typical usage::
+
+    from repro import DataCell
+
+    cell = DataCell()
+    cell.execute("create basket sensors (sensor int, temp double)")
+    query = cell.submit_continuous(
+        "select s.sensor, s.temp from "
+        "[select * from sensors where sensors.temp > 30.0] as s")
+    cell.insert("sensors", [(1, 45.0), (2, 20.0)])
+    cell.run_until_quiescent()
+    print(query.fetch())            # -> [(1, 45.0)]
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the paper's
+claims reproduced by the benchmark suite.
+"""
+
+from .core.basket import Basket
+from .core.clock import LogicalClock, WallClock
+from .core.continuous import ContinuousQuery
+from .core.engine import DataCell
+from .core.factory import CallablePlan, ConsumeMode, Factory, InputBinding
+from .core.scheduler import Scheduler
+from .core.windows import WindowMode, WindowSpec
+from .kernel import AtomType, BAT, Catalog, ResultSet, Table
+
+__all__ = [
+    "DataCell",
+    "Basket",
+    "ContinuousQuery",
+    "Factory",
+    "CallablePlan",
+    "ConsumeMode",
+    "InputBinding",
+    "Scheduler",
+    "WindowSpec",
+    "WindowMode",
+    "LogicalClock",
+    "WallClock",
+    "AtomType",
+    "BAT",
+    "Catalog",
+    "ResultSet",
+    "Table",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,112 @@
+"""Stream replay: feed recorded data (CSV files, row lists) into channels.
+
+Stream benchmarks and the Linear Road harness replay a recorded event log
+at a controlled rate.  :class:`ReplaySource` pushes rows into a channel
+either all at once, in fixed-size batches, or paced against a clock (rows
+carry logical timestamps; the source releases a row when the clock passes
+its timestamp — with a :class:`~repro.core.clock.LogicalClock` the driver
+controls time explicitly, making replays deterministic).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.clock import Clock
+from ..errors import AdapterError
+from .channels import Channel
+
+__all__ = ["ReplaySource", "load_csv_rows"]
+
+
+def load_csv_rows(
+    path_or_text: str,
+    has_header: bool = True,
+    from_text: bool = False,
+) -> List[List[str]]:
+    """Load raw string rows from a CSV file (or inline text)."""
+    if from_text:
+        handle = io.StringIO(path_or_text)
+        rows = list(csv.reader(handle))
+    else:
+        with open(path_or_text, newline="") as handle:
+            rows = list(csv.reader(handle))
+    if has_header and rows:
+        rows = rows[1:]
+    return rows
+
+
+class ReplaySource:
+    """Replays a timestamped event log into a channel.
+
+    ``events`` is a sequence of ``(timestamp, row)`` pairs sorted by
+    timestamp (validated).  :meth:`pump` pushes every event whose
+    timestamp has been reached by the clock; :meth:`pump_all` ignores
+    time and drains everything.
+    """
+
+    def __init__(
+        self,
+        events: Sequence[Tuple[float, Sequence[Any]]],
+        channel: Channel,
+        clock: Optional[Clock] = None,
+    ):
+        last = float("-inf")
+        for stamp, _ in events:
+            if stamp < last:
+                raise AdapterError("replay events must be time-ordered")
+            last = stamp
+        self.events = list(events)
+        self.channel = channel
+        self.clock = clock
+        self._cursor = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.events) - self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self.events)
+
+    def pump(self, now: Optional[float] = None) -> int:
+        """Push all events due at (or before) ``now``; returns how many.
+
+        ``now`` defaults to the clock's current time; a clock or explicit
+        time is required for paced replay.
+        """
+        if now is None:
+            if self.clock is None:
+                raise AdapterError("paced replay needs a clock or a time")
+            now = self.clock.now()
+        pushed = 0
+        while self._cursor < len(self.events):
+            stamp, row = self.events[self._cursor]
+            if stamp > now:
+                break
+            self.channel.push(tuple(row))
+            self._cursor += 1
+            pushed += 1
+        return pushed
+
+    def pump_batch(self, max_events: int) -> int:
+        """Push up to ``max_events`` regardless of time; returns how many."""
+        pushed = 0
+        while self._cursor < len(self.events) and pushed < max_events:
+            _, row = self.events[self._cursor]
+            self.channel.push(tuple(row))
+            self._cursor += 1
+            pushed += 1
+        return pushed
+
+    def pump_all(self) -> int:
+        """Push every remaining event."""
+        return self.pump_batch(len(self.events))
+
+    def next_timestamp(self) -> Optional[float]:
+        """Timestamp of the next pending event (None when exhausted)."""
+        if self.exhausted:
+            return None
+        return self.events[self._cursor][0]

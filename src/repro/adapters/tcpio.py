@@ -1,0 +1,130 @@
+"""TCP adapters: the paper's UDP/TCP communication channels.
+
+``TcpIngressServer`` accepts client connections and feeds received lines
+(textual flat tuples, newline-delimited) into a channel a receptor reads.
+``TcpEgressClient`` is the matching delivery side: it subscribes to an
+emitter and writes result tuples to a remote socket.
+
+These exist to honour the paper's periphery ("communication protocols
+range from simple messages ... transported using either UDP or TCP/IP");
+tests exercise them over localhost.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import List, Optional, Tuple
+
+from ..errors import AdapterError
+from .channels import Channel, InMemoryChannel
+
+__all__ = ["TcpIngressServer", "TcpEgressClient"]
+
+
+class TcpIngressServer:
+    """Listens on a TCP port; each received line becomes a channel event."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 channel: Optional[Channel] = None):
+        self.channel = channel or InMemoryChannel("tcp_ingress")
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(8)
+        self._sock.settimeout(0.2)
+        self.address: Tuple[str, int] = self._sock.getsockname()
+        self._running = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self.connections_accepted = 0
+
+    def start(self) -> None:
+        if self._running.is_set():
+            raise AdapterError("ingress server already running")
+        self._running.set()
+        accept_thread = threading.Thread(
+            target=self._accept_loop, name="tcp-ingress-accept", daemon=True
+        )
+        self._threads.append(accept_thread)
+        accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while self._running.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.connections_accepted += 1
+            worker = threading.Thread(
+                target=self._reader,
+                args=(conn,),
+                name="tcp-ingress-conn",
+                daemon=True,
+            )
+            self._threads.append(worker)
+            worker.start()
+
+    def _reader(self, conn: socket.socket) -> None:
+        buffer = b""
+        conn.settimeout(0.2)
+        with conn:
+            while self._running.is_set():
+                try:
+                    chunk = conn.recv(4096)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    text = line.decode("utf-8", errors="replace").strip("\r")
+                    if text:
+                        self.channel.push(text)
+
+    def stop(self) -> None:
+        self._running.clear()
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        for thread in self._threads:
+            thread.join(timeout=2)
+        self._threads = []
+
+
+class TcpEgressClient:
+    """Writes delivered result rows to a TCP endpoint, one line per tuple.
+
+    Usable directly as an emitter subscriber::
+
+        emitter.subscribe(TcpEgressClient(host, port))
+    """
+
+    def __init__(self, host: str, port: int, connect_timeout: float = 5.0):
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        self._lock = threading.Lock()
+        self.rows_sent = 0
+
+    def __call__(self, rows) -> None:
+        from .channels import format_tuple
+
+        payload = "".join(format_tuple(row) + "\n" for row in rows)
+        with self._lock:
+            try:
+                self._sock.sendall(payload.encode("utf-8"))
+            except OSError as exc:
+                raise AdapterError(f"egress send failed: {exc}") from exc
+            self.rows_sent += len(rows)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass

@@ -1,0 +1,24 @@
+"""Baseline comparators for the benchmarks (tuple-at-a-time DSMS, naive
+window re-evaluation)."""
+
+from .reeval import NaiveReEvalWindow
+from .tuple_engine import (
+    MapOperator,
+    Operator,
+    ProjectOperator,
+    SelectOperator,
+    SinkOperator,
+    TupleEngine,
+    WindowAggregateOperator,
+)
+
+__all__ = [
+    "NaiveReEvalWindow",
+    "TupleEngine",
+    "Operator",
+    "SelectOperator",
+    "ProjectOperator",
+    "MapOperator",
+    "WindowAggregateOperator",
+    "SinkOperator",
+]

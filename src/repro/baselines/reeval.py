@@ -1,0 +1,59 @@
+"""Naive per-tuple window re-evaluation baseline.
+
+The worst-case route of §3.1: after *every* arriving tuple, re-evaluate
+the full window from scratch (no batching, no summaries).  The DataCell's
+re-evaluation plan already batches per activation; this baseline removes
+even that, bounding the other end of the W1 benchmark's spectrum.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..errors import DataCellError
+
+__all__ = ["NaiveReEvalWindow"]
+
+
+class NaiveReEvalWindow:
+    """Count-based sliding window, fully recomputed on every insert."""
+
+    def __init__(self, size: int, slide: int, aggregate: str = "sum"):
+        if size <= 0 or slide <= 0 or slide > size:
+            raise DataCellError("bad window geometry")
+        if aggregate not in ("sum", "count", "avg", "min", "max"):
+            raise DataCellError(f"unknown aggregate {aggregate!r}")
+        self.size = size
+        self.slide = slide
+        self.aggregate = aggregate
+        self._buffer: Deque[float] = deque()
+        self._since_emit = 0
+        self.results: List[float] = []
+        self.values_processed = 0
+
+    def insert(self, value: float) -> Optional[float]:
+        """Feed one tuple; returns the emitted aggregate, if any."""
+        self._buffer.append(float(value))
+        if len(self._buffer) > self.size:
+            self._buffer.popleft()
+        self._since_emit += 1
+        if len(self._buffer) == self.size and self._since_emit >= self.slide:
+            self._since_emit = 0
+            result = self._evaluate()
+            self.results.append(result)
+            return result
+        return None
+
+    def _evaluate(self) -> float:
+        # full rescan — this is the point of the baseline
+        self.values_processed += len(self._buffer)
+        if self.aggregate == "count":
+            return float(len(self._buffer))
+        if self.aggregate == "sum":
+            return sum(self._buffer)
+        if self.aggregate == "avg":
+            return sum(self._buffer) / len(self._buffer)
+        if self.aggregate == "min":
+            return min(self._buffer)
+        return max(self._buffer)

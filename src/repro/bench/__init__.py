@@ -1,0 +1,18 @@
+"""Benchmark-harness helpers shared by benchmarks/bench_*.py."""
+
+from .reporting import print_table, record_result
+from .runner import (
+    Measurement,
+    PipelineFixture,
+    build_figure1_pipeline,
+    run_stream_through,
+)
+
+__all__ = [
+    "Measurement",
+    "PipelineFixture",
+    "build_figure1_pipeline",
+    "run_stream_through",
+    "print_table",
+    "record_result",
+]

@@ -1,0 +1,94 @@
+"""Regenerate the EXPERIMENTS.md measured-results tables.
+
+``python -m repro.bench.summary`` reads ``benchmarks/results.json`` (as
+written by the last ``pytest benchmarks/ --benchmark-only`` run) and
+prints one markdown table per experiment, ready to paste into
+EXPERIMENTS.md.  Keeping the document regenerable means the recorded
+numbers always match an actual run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+from .reporting import RESULTS_PATH
+
+__all__ = ["load_results", "render_markdown"]
+
+
+def load_results(path: str = RESULTS_PATH) -> Dict[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, list):
+        return " ".join(str(v) for v in value)
+    return str(value)
+
+
+def _series_table(series: List[Dict[str, Any]]) -> List[str]:
+    if not series:
+        return []
+    keys = list(series[0].keys())
+    lines = [
+        "| " + " | ".join(keys) + " |",
+        "|" + "|".join("---" for _ in keys) + "|",
+    ]
+    for row in series:
+        lines.append(
+            "| " + " | ".join(_fmt(row.get(k)) for k in keys) + " |"
+        )
+    return lines
+
+
+def render_markdown(results: Dict[str, Any]) -> str:
+    out: List[str] = []
+    for experiment in sorted(results):
+        payload = results[experiment]
+        out.append(f"### {experiment} — {payload.get('claim', '')}")
+        out.append("")
+        scalars = {
+            k: v
+            for k, v in payload.items()
+            if k not in ("claim", "series") and not isinstance(v, (list, dict))
+        }
+        for key, value in scalars.items():
+            out.append(f"* {key}: {_fmt(value)}")
+        if scalars:
+            out.append("")
+        series = payload.get("series")
+        if isinstance(series, list):
+            out.extend(_series_table(series))
+            out.append("")
+    return "\n".join(out)
+
+
+def main() -> int:
+    try:
+        results = load_results()
+    except FileNotFoundError:
+        print(
+            "no benchmarks/results.json — run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 1
+    print(render_markdown(results))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,384 @@
+"""Baskets — the key data structure of the DataCell (paper §2.2).
+
+A basket holds a portion of a stream as a temporary main-memory table.  It
+aligns with SQL'03 table semantics as much as possible; the prime
+differences are the retention period (a tuple is removed once consumed by
+all relevant continuous queries) and the implicit ``dc_time`` column
+stamping each tuple's arrival time.
+
+Implementation notes
+--------------------
+* A basket *is* a catalog :class:`~repro.kernel.catalog.Table` (the paper
+  stores baskets as ordinary BATs), extended with:
+
+  - the implicit ``dc_time`` timestamp column;
+  - a hidden, monotonically increasing per-tuple sequence number used to
+    give tuples a stable identity across consume cycles;
+  - consumption primitives (:meth:`consume_all`, :meth:`consume_positions`);
+  - per-reader cursors implementing the *shared baskets* strategy, where a
+    tuple stays in the basket until every registered reader has seen it.
+
+* There is deliberately **no arrival order guarantee** beyond what the
+  caller imposes: the paper treats a basket as a multi-set and considers
+  arrival order a semantic issue.  Sequence numbers reflect ingest order at
+  this node, which window operators may use, but nothing reorders tuples.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import BasketError
+from ..kernel.bat import BAT, bat_from_values
+from ..kernel.catalog import ColumnDef, Schema, Table
+from ..kernel.mal import ResultSet
+from ..kernel.types import AtomType
+from .clock import Clock, WallClock
+
+__all__ = ["Basket", "BasketSnapshot", "TIME_COLUMN"]
+
+TIME_COLUMN = "dc_time"
+
+
+class BasketSnapshot:
+    """An immutable view of a basket's content at activation time.
+
+    Columns are the basket's BATs re-based to a dense 0..n-1 head, so
+    candidate lists produced by plans are directly usable as positions when
+    telling the basket which tuples were consumed.  ``seqs`` carries the
+    stable per-tuple sequence numbers for the same positions.
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        bats: Sequence[BAT],
+        seqs: np.ndarray,
+    ):
+        self.names = list(names)
+        self.bats = list(bats)
+        self.seqs = seqs
+
+    @property
+    def count(self) -> int:
+        return self.bats[0].count if self.bats else 0
+
+    def __len__(self) -> int:
+        return self.count
+
+    def column(self, name: str) -> BAT:
+        try:
+            return self.bats[self.names.index(name.lower())]
+        except ValueError:
+            raise BasketError(f"snapshot has no column {name!r}") from None
+
+    def as_result(self) -> ResultSet:
+        return ResultSet(self.names, self.bats)
+
+    def env(self, prefix: str) -> Dict[str, BAT]:
+        """Bind columns into a MAL environment as ``prefix.column``."""
+        return {f"{prefix}.{n}": b for n, b in zip(self.names, self.bats)}
+
+
+class Basket(Table):
+    """A stream buffer with consumption semantics (see module docstring)."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Tuple[str, AtomType]],
+        clock: Optional[Clock] = None,
+    ):
+        if any(col[0].lower() in (TIME_COLUMN, "dc_seq") for col in columns):
+            raise BasketError(
+                f"column names {TIME_COLUMN!r}/'dc_seq' are reserved"
+            )
+        defs = [ColumnDef(n, a) for n, a in columns]
+        defs.append(ColumnDef(TIME_COLUMN, AtomType.TIMESTAMP))
+        super().__init__(name, Schema(defs), is_basket=True)
+        self.clock = clock or WallClock()
+        self._seq = BAT(AtomType.LNG)
+        self._next_seq = 0
+        self.min_count = 1  # scheduler firing threshold (paper §2.4)
+        self.capacity: Optional[int] = None  # load-shedding high watermark
+        self._readers: Dict[str, int] = {}
+        # statistics
+        self.total_in = 0
+        self.total_out = 0
+        self.total_shed = 0
+
+    # ------------------------------------------------------------------
+    # schema helpers
+    # ------------------------------------------------------------------
+    @property
+    def user_columns(self) -> List[ColumnDef]:
+        """Schema without the implicit timestamp column."""
+        return [c for c in self.schema if c.name != TIME_COLUMN]
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def insert_rows(
+        self,
+        rows: Iterable[Sequence[Any]],
+        timestamp: Optional[float] = None,
+    ) -> int:
+        """Append user-arity tuples, stamping arrival time and sequence.
+
+        Returns the number of tuples appended (after load shedding, if a
+        ``capacity`` watermark is set).
+        """
+        rows = list(rows)
+        if not rows:
+            return 0
+        stamp = self.clock.now() if timestamp is None else float(timestamp)
+        user_cols = self.user_columns
+        arity = len(user_cols)
+        for row in rows:
+            if len(row) != arity:
+                raise BasketError(
+                    f"basket {self.name!r}: row arity {len(row)} != {arity}"
+                )
+        with self.lock:
+            # columnar ingest: transpose once, append one array per column
+            columns = list(zip(*rows))
+            for col, values in zip(user_cols, columns):
+                self.bat(col.name).append_many(values)
+            n = len(rows)
+            self.bat(TIME_COLUMN).append_array(np.full(n, stamp))
+            self._seq.append_array(
+                np.arange(self._next_seq, self._next_seq + n, dtype=np.int64)
+            )
+            self._next_seq += n
+            self.total_in += n
+            shed = self._shed_if_over_capacity()
+        return len(rows) - shed
+
+    def insert_columns(
+        self,
+        columns: Dict[str, np.ndarray],
+        timestamp: Optional[float] = None,
+    ) -> int:
+        """Columnar bulk ingest (receptor fast path).
+
+        ``columns`` covers the user columns only; ``dc_time`` and sequence
+        numbers are filled in here.
+        """
+        stamp = self.clock.now() if timestamp is None else float(timestamp)
+        user_names = {c.name.lower() for c in self.user_columns}
+        provided = {k.lower() for k in columns}
+        if provided != user_names:
+            raise BasketError(
+                f"bulk insert must cover exactly the user columns "
+                f"{sorted(user_names)}, got {sorted(provided)}"
+            )
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) != 1:
+            raise BasketError("bulk insert arrays differ in length")
+        n = lengths.pop()
+        with self.lock:
+            for name, values in columns.items():
+                self.bat(name).append_array(np.asarray(values))
+            self.bat(TIME_COLUMN).append_array(np.full(n, stamp))
+            self._seq.append_array(
+                np.arange(self._next_seq, self._next_seq + n, dtype=np.int64)
+            )
+            self._next_seq += n
+            self.total_in += n
+            shed = self._shed_if_over_capacity()
+        return n - shed
+
+    def _shed_if_over_capacity(self) -> int:
+        """Drop oldest tuples beyond the capacity watermark (load shedding)."""
+        if self.capacity is None or self.count <= self.capacity:
+            return 0
+        overflow = self.count - self.capacity
+        self._rebuild_keeping(np.arange(overflow, self.count, dtype=np.int64))
+        self.total_shed += overflow
+        return overflow
+
+    # ------------------------------------------------------------------
+    # snapshots & consumption
+    # ------------------------------------------------------------------
+    def snapshot(self, since_seq: Optional[int] = None) -> BasketSnapshot:
+        """Current content (optionally only tuples with seq > ``since_seq``).
+
+        Caller should hold the basket lock for a consistent multi-column
+        view; factories do (Algorithm 1 locks before reading).
+        """
+        with self.lock:
+            seqs = self._seq.tail.copy()
+            if since_seq is None:
+                positions = np.arange(len(seqs), dtype=np.int64)
+            else:
+                positions = np.flatnonzero(seqs > since_seq).astype(np.int64)
+            names = [c.name.lower() for c in self.schema]
+            bats = [
+                self.bat(c.name).take_positions(positions, hseqbase=0)
+                for c in self.schema
+            ]
+            return BasketSnapshot(names, bats, seqs[positions])
+
+    def consume_all(self) -> int:
+        """Remove every tuple (the bulk ``basket.empty`` of Algorithm 1)."""
+        with self.lock:
+            removed = self.count
+            self._rebuild_keeping(np.empty(0, dtype=np.int64))
+            self.total_out += removed
+            return removed
+
+    def consume_seqs(self, seqs: np.ndarray) -> int:
+        """Remove the tuples with the given sequence numbers.
+
+        This is the basket-expression side effect (§2.6): only referenced
+        tuples are removed, leaving a partially emptied basket behind.
+        """
+        if len(seqs) == 0:
+            return 0
+        with self.lock:
+            current = self._seq.tail
+            keep_mask = ~np.isin(current, np.asarray(seqs, dtype=np.int64))
+            keep = np.flatnonzero(keep_mask).astype(np.int64)
+            removed = self.count - len(keep)
+            self._rebuild_keeping(keep)
+            self.total_out += removed
+            return removed
+
+    def _rebuild_keeping(self, positions: np.ndarray) -> None:
+        """Swap in a new BAT generation holding only ``positions``."""
+        new_bats = {}
+        for col in self.schema:
+            old = self.bat(col.name)
+            new_bats[col.name.lower()] = old.take_positions(
+                positions, hseqbase=0
+            )
+        self._seq = self._seq.take_positions(positions, hseqbase=0)
+        self.replace_bats(new_bats)
+
+    def truncate(self) -> int:
+        """Table-compatible truncate that also clears sequence numbers."""
+        with self.lock:
+            removed = self.count
+            self._rebuild_keeping(np.empty(0, dtype=np.int64))
+            self.total_out += removed
+            return removed
+
+    def frontier_seq(self) -> int:
+        """The highest sequence number ever assigned (-1 when empty)."""
+        with self.lock:
+            return self._next_seq - 1
+
+    # ------------------------------------------------------------------
+    # shared-baskets reader protocol (paper §2.5, second strategy)
+    # ------------------------------------------------------------------
+    def register_reader(self, reader: str) -> None:
+        """Register a factory as a shared reader of this basket.
+
+        A new reader sees everything currently buffered plus all future
+        tuples; tuples already consumed before registration are gone (a
+        newly arriving query joins the live stream, paper §1).
+        """
+        with self.lock:
+            if reader in self._readers:
+                raise BasketError(
+                    f"reader {reader!r} already registered on {self.name!r}"
+                )
+            if self.count:
+                self._readers[reader] = int(self._seq.tail[0]) - 1
+            else:
+                self._readers[reader] = self._next_seq - 1
+
+    def unregister_reader(self, reader: str) -> None:
+        with self.lock:
+            self._readers.pop(reader, None)
+            self.gc_shared()
+
+    def readers(self) -> List[str]:
+        return list(self._readers)
+
+    def read_new(self, reader: str) -> BasketSnapshot:
+        """Tuples this reader has not yet seen (does NOT advance the cursor)."""
+        with self.lock:
+            if reader not in self._readers:
+                raise BasketError(
+                    f"reader {reader!r} not registered on {self.name!r}"
+                )
+            return self.snapshot(since_seq=self._readers[reader])
+
+    def advance_reader(self, reader: str, upto_seq: int) -> None:
+        """Mark tuples up to ``upto_seq`` as seen by ``reader``."""
+        with self.lock:
+            if reader not in self._readers:
+                raise BasketError(
+                    f"reader {reader!r} not registered on {self.name!r}"
+                )
+            self._readers[reader] = max(self._readers[reader], int(upto_seq))
+
+    def unseen_count(self, reader: str) -> int:
+        """How many buffered tuples the reader has not seen yet."""
+        with self.lock:
+            if reader not in self._readers:
+                raise BasketError(
+                    f"reader {reader!r} not registered on {self.name!r}"
+                )
+            cursor = self._readers[reader]
+            return int(np.count_nonzero(self._seq.tail > cursor))
+
+    def gc_shared(self) -> int:
+        """Drop tuples every registered reader has seen (low-water mark).
+
+        Implements "the shared baskets strategy removes the tuples from a
+        shared input basket only once all relevant factories have seen it".
+        Returns the number of tuples physically removed.
+        """
+        with self.lock:
+            if not self._readers or self.count == 0:
+                return 0
+            low_water = min(self._readers.values())
+            keep = np.flatnonzero(self._seq.tail > low_water).astype(np.int64)
+            removed = self.count - len(keep)
+            if removed:
+                self._rebuild_keeping(keep)
+                self.total_out += removed
+            return removed
+
+    # ------------------------------------------------------------------
+    def append_result(self, result: ResultSet, timestamp: Optional[float] = None) -> int:
+        """Append a factory's result set (user columns) to this basket."""
+        rows_added = result.count
+        if rows_added == 0:
+            return 0
+        user_cols = self.user_columns
+        provides_time = len(result.names) == len(user_cols) + 1
+        expected = len(user_cols) + (1 if provides_time else 0)
+        if len(result.names) != expected:
+            raise BasketError(
+                f"result arity {len(result.names)} does not match basket "
+                f"{self.name!r} ({len(user_cols)} user columns)"
+            )
+        stamp = self.clock.now() if timestamp is None else float(timestamp)
+        with self.lock:
+            for col, bat in zip(self.schema, result.bats):
+                self.bat(col.name).append_bat(bat)
+            if not provides_time:
+                self.bat(TIME_COLUMN).append_array(
+                    np.full(rows_added, stamp)
+                )
+            self._seq.append_array(
+                np.arange(
+                    self._next_seq, self._next_seq + rows_added, dtype=np.int64
+                )
+            )
+            self._next_seq += rows_added
+            self.total_in += rows_added
+            self._shed_if_over_capacity()
+        return rows_added
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Basket({self.name!r}, rows={self.count}, in={self.total_in}, "
+            f"out={self.total_out}, readers={len(self._readers)})"
+        )

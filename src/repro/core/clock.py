@@ -1,0 +1,59 @@
+"""Clocks stamping the implicit timestamp column of every basket.
+
+The paper attaches a timestamp column to each stream table "reflecting the
+time that this tuple entered the system".  Benchmarks and tests need this to
+be deterministic, so the engine accepts either a :class:`WallClock` (real
+time) or a :class:`LogicalClock` (manually advanced ticks).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Clock", "WallClock", "LogicalClock"]
+
+
+class Clock:
+    """Interface: anything with a ``now() -> float`` (seconds)."""
+
+    def now(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real time (``time.time``)."""
+
+    def now(self) -> float:
+        return time.time()
+
+
+class LogicalClock(Clock):
+    """A deterministic clock advanced explicitly by the test/benchmark.
+
+    Thread-safe; ``advance`` returns the new time so drivers can interleave
+    stamping with window boundaries precisely.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("time cannot go backwards")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def set(self, timestamp: float) -> None:
+        """Jump to an absolute time (must not move backwards)."""
+        with self._lock:
+            if timestamp < self._now:
+                raise ValueError("time cannot go backwards")
+            self._now = float(timestamp)

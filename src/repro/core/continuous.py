@@ -1,0 +1,84 @@
+"""Continuous-query handles: what ``submit_continuous`` returns.
+
+A handle owns the factory, the output basket and the emitter wired for one
+standing query, and gives clients a synchronous way to collect delivered
+results (plus subscription hooks for push delivery).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..adapters.channels import Channel
+from .basket import Basket
+from .emitter import CollectingClient, Emitter
+from .factory import Factory
+
+__all__ = ["ContinuousQuery"]
+
+Row = Tuple[Any, ...]
+
+
+class ContinuousQuery:
+    """A standing query registered with the DataCell."""
+
+    def __init__(
+        self,
+        name: str,
+        sql: Optional[str],
+        factory: Factory,
+        output_basket: Basket,
+        emitter: Emitter,
+        collector: CollectingClient,
+        engine: "Any",
+    ):
+        self.name = name
+        self.sql = sql
+        self.factory = factory
+        self.output_basket = output_basket
+        self.emitter = emitter
+        self._collector = collector
+        self._engine = engine
+        self.cancelled = False
+
+    # ------------------------------------------------------------------
+    def fetch(self) -> List[Row]:
+        """Drain and return the rows delivered since the last fetch."""
+        rows = self._collector.rows
+        self._collector.rows = []
+        return rows
+
+    def peek(self) -> List[Row]:
+        """Delivered-but-unfetched rows, without draining."""
+        return list(self._collector.rows)
+
+    def subscribe(self, client: Callable[[List[Row]], None]) -> None:
+        """Register a push subscriber (called with each delivery batch)."""
+        self.emitter.subscribe(client)
+
+    def subscribe_channel(self, channel: Channel) -> None:
+        """Deliver results into a channel in the textual wire format."""
+        self.emitter.subscribe_channel(channel)
+
+    def cancel(self) -> None:
+        """Unregister the query from the engine's scheduler."""
+        if self.cancelled:
+            return
+        self._engine.remove_continuous(self)
+        self.cancelled = True
+
+    # ------------------------------------------------------------------
+    @property
+    def results_delivered(self) -> int:
+        return self.emitter.total_delivered
+
+    @property
+    def activations(self) -> int:
+        return self.factory.activations
+
+    def explain(self) -> str:
+        """Human-readable plan (MAL text for compiled queries)."""
+        return self.factory.plan.describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ContinuousQuery({self.name!r}, delivered={self.results_delivered})"

@@ -1,0 +1,122 @@
+"""Emitters — the delivery edge of the DataCell (paper §2.1).
+
+An emitter picks up result tuples prepared by the kernel (i.e. appended to
+an output basket by a factory) and delivers them to the clients subscribed
+to that query result.  Delivery empties the output basket: the emitter is
+the final Petri-net transition of the query chain.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..adapters.channels import Channel, format_tuple
+from ..errors import AdapterError
+from .basket import Basket, TIME_COLUMN
+from .factory import ActivationResult
+
+__all__ = ["Emitter", "CollectingClient"]
+
+Row = Tuple[Any, ...]
+ClientCallback = Callable[[List[Row]], None]
+
+
+class CollectingClient:
+    """A trivial client that accumulates delivered rows (tests, examples)."""
+
+    def __init__(self) -> None:
+        self.rows: List[Row] = []
+        self.deliveries = 0
+
+    def __call__(self, rows: List[Row]) -> None:
+        self.rows.extend(rows)
+        self.deliveries += 1
+
+
+class Emitter:
+    """Delivers an output basket's content to subscribed clients.
+
+    Clients are callables receiving a list of row tuples; channels can
+    also subscribe, in which case rows are serialized to the textual wire
+    format.  The implicit ``dc_time`` column is stripped unless
+    ``include_time=True``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        source: Basket,
+        include_time: bool = False,
+        batch_size: Optional[int] = None,
+    ):
+        self.name = name
+        self.source = source
+        self.include_time = include_time
+        self.batch_size = batch_size
+        self.priority = -10  # emitters run after queries by default
+        self._clients: List[ClientCallback] = []
+        self._channels: List[Channel] = []
+        self.total_delivered = 0
+        self.activations = 0
+
+    # ------------------------------------------------------------------
+    def subscribe(self, client: ClientCallback) -> None:
+        """Add a callback client."""
+        self._clients.append(client)
+
+    def subscribe_channel(self, channel: Channel) -> None:
+        """Add a channel client (textual delivery)."""
+        self._channels.append(channel)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._clients) + len(self._channels)
+
+    # ------------------------------------------------------------------
+    def enabled(self) -> bool:
+        """Fires when results are waiting in the source basket."""
+        return self.source.count >= max(1, self.source.min_count)
+
+    def activate(self) -> ActivationResult:
+        """Consume waiting results and fan them out to all subscribers."""
+        started = time.perf_counter()
+        with self.source.lock:
+            snapshot = self.source.snapshot()
+            self.source.consume_all()
+        rows = self._project(snapshot)
+        for client in self._clients:
+            client(rows)
+        for channel in self._channels:
+            for row in rows:
+                channel.push(format_tuple(row))
+        self.activations += 1
+        self.total_delivered += len(rows)
+        return ActivationResult(
+            fired=True,
+            tuples_in=snapshot.count,
+            tuples_out=len(rows) * max(1, self.subscriber_count),
+            consumed=snapshot.count,
+            elapsed=time.perf_counter() - started,
+        )
+
+    def _project(self, snapshot) -> List[Row]:
+        from ..kernel.types import python_value
+
+        keep = [
+            (name, bat)
+            for name, bat in zip(snapshot.names, snapshot.bats)
+            if self.include_time or name != TIME_COLUMN
+        ]
+        if not keep:
+            return []
+        cols = [
+            [python_value(bat.atom, v) for v in bat.tail] for _, bat in keep
+        ]
+        return list(zip(*cols)) if snapshot.count else []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Emitter({self.name!r} <- {self.source.name!r}, "
+            f"subscribers={self.subscriber_count})"
+        )

@@ -1,0 +1,343 @@
+"""Factories — continuous queries as resumable co-routines (paper §2.3).
+
+A factory contains the compiled continuous query plan.  It has at least one
+input and one output basket; each activation reads the inputs, processes
+them, writes qualifying tuples to the outputs, and consumes the input
+tuples it has seen.  Execution state is saved between calls: the factory is
+a python generator whose frame persists across activations, mirroring
+MonetDB's factory co-routines, and whatever state the plan object carries
+(window buffers, cursors) survives with it.
+
+Algorithm 1 fidelity — every activation performs, in order::
+
+    lock(inputs); lock(outputs)
+    result = plan(inputs)           # any relational computation
+    consume(inputs)                 # empty / partial / cursor advance
+    append(outputs, result)
+    unlock(...); suspend()
+
+Locks are acquired in a global order (basket name) to stay deadlock-free
+when factories share baskets.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import DataCellError
+from ..kernel.mal import ResultSet
+from .basket import Basket, BasketSnapshot
+
+__all__ = [
+    "ConsumeMode",
+    "InputBinding",
+    "PlanOutput",
+    "ContinuousPlan",
+    "CallablePlan",
+    "Factory",
+    "ActivationResult",
+]
+
+
+class ConsumeMode(enum.Enum):
+    """What happens to input tuples after a factory has processed them."""
+
+    ALL = "all"  # bulk empty — the Algorithm 1 default (separate baskets)
+    PLAN = "plan"  # the plan's basket expression decides (predicate window)
+    SHARED = "shared"  # per-reader cursor; removal at low-water mark (§2.5)
+    PEEK = "peek"  # no consumption: basket read as a plain table (§2.6)
+
+
+@dataclass
+class InputBinding:
+    """How a factory reads one input basket.
+
+    ``last_seen_seq`` is the factory's high-water mark on this basket: for
+    PLAN/PEEK modes (where tuples may legitimately stay behind), the
+    factory only re-fires when tuples beyond the mark exist — this is the
+    paper's "auxiliary baskets regulate when a transition runs" without the
+    extra basket object.
+    """
+
+    basket: Basket
+    mode: ConsumeMode = ConsumeMode.ALL
+    min_tuples: int = 1
+    last_seen_seq: int = -1
+    optional: bool = False  # does not gate enablement (side inputs)
+    # Result-set-constraint windows (inner LIMIT) leave qualifying tuples
+    # behind on purpose; such bindings stay enabled while the previous
+    # activation still consumed something.
+    refire_on_consumption: bool = False
+    last_consumed: int = 0
+
+
+@dataclass
+class PlanOutput:
+    """What one plan execution produced.
+
+    ``results`` maps output basket name → rows to append.  ``consumed``
+    maps input basket name → snapshot positions the plan's basket
+    expression referenced (only consulted for ``ConsumeMode.PLAN`` inputs).
+    """
+
+    results: Dict[str, ResultSet] = field(default_factory=dict)
+    consumed: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+class ContinuousPlan:
+    """Interface implemented by compiled continuous-query plans."""
+
+    def run(self, snapshots: Dict[str, BasketSnapshot]) -> PlanOutput:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class CallablePlan(ContinuousPlan):
+    """Adapter turning a python callable into a plan.
+
+    The callable receives ``{basket_name: BasketSnapshot}`` and returns
+    either a :class:`PlanOutput`, a ``{basket: ResultSet}`` dict, a single
+    :class:`ResultSet` (routed to ``default_output``), or ``None``.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Dict[str, BasketSnapshot]], Any],
+        default_output: Optional[str] = None,
+        name: Optional[str] = None,
+    ):
+        self._fn = fn
+        self._default_output = default_output
+        self._name = name or getattr(fn, "__name__", "callable_plan")
+
+    def run(self, snapshots: Dict[str, BasketSnapshot]) -> PlanOutput:
+        raw = self._fn(snapshots)
+        if raw is None:
+            return PlanOutput()
+        if isinstance(raw, PlanOutput):
+            return raw
+        if isinstance(raw, ResultSet):
+            if self._default_output is None:
+                raise DataCellError(
+                    f"plan {self._name!r} returned a bare ResultSet but has "
+                    "no default output basket"
+                )
+            return PlanOutput(results={self._default_output: raw})
+        if isinstance(raw, dict):
+            return PlanOutput(results=raw)
+        raise DataCellError(
+            f"plan {self._name!r} returned unsupported type {type(raw)!r}"
+        )
+
+    def describe(self) -> str:
+        return self._name
+
+
+@dataclass
+class ActivationResult:
+    """Statistics of one factory activation."""
+
+    fired: bool
+    tuples_in: int = 0
+    tuples_out: int = 0
+    consumed: int = 0
+    elapsed: float = 0.0
+
+
+class Factory:
+    """A continuous query wrapped as a schedulable transition."""
+
+    def __init__(
+        self,
+        name: str,
+        plan: ContinuousPlan,
+        inputs: Sequence[Union[InputBinding, Basket]],
+        outputs: Sequence[Basket],
+        priority: int = 0,
+    ):
+        if not inputs:
+            raise DataCellError(
+                f"factory {name!r} needs at least one input basket"
+            )
+        self.name = name
+        self.plan = plan
+        self.inputs: List[InputBinding] = [
+            b if isinstance(b, InputBinding) else InputBinding(b)
+            for b in inputs
+        ]
+        self.outputs: List[Basket] = list(outputs)
+        self.priority = priority
+        self.activations = 0
+        self.total_in = 0
+        self.total_out = 0
+        self.total_elapsed = 0.0
+        for binding in self.inputs:
+            if binding.mode is ConsumeMode.SHARED:
+                binding.basket.register_reader(self.name)
+        # The saved-state co-routine: created lazily on first activation,
+        # then resumed forever (the paper: "the first time that the factory
+        # is called, a thread is created ... the next time it is called it
+        # continues from the point where it stopped").
+        self._coroutine: Optional[Iterator[ActivationResult]] = None
+
+    # ------------------------------------------------------------------
+    def enabled(self) -> bool:
+        """Petri-net firing condition: every input has enough tuples."""
+        has_required = False
+        any_optional_ready = False
+        for binding in self.inputs:
+            threshold = max(binding.min_tuples, binding.basket.min_count)
+            if binding.mode is ConsumeMode.SHARED:
+                ready = binding.basket.unseen_count(self.name) >= threshold
+            elif binding.mode in (ConsumeMode.PLAN, ConsumeMode.PEEK):
+                # fire only on tuples beyond the high-water mark, or the
+                # transition would re-fire forever on leftovers
+                fresh = (
+                    binding.basket.frontier_seq() > binding.last_seen_seq
+                )
+                making_progress = (
+                    binding.refire_on_consumption
+                    and binding.last_consumed > 0
+                )
+                ready = binding.basket.count >= threshold and (
+                    fresh or making_progress
+                )
+            else:
+                ready = binding.basket.count >= threshold
+            if binding.optional:
+                any_optional_ready = any_optional_ready or ready
+                continue
+            has_required = True
+            if not ready:
+                return False
+        if not has_required:
+            # a factory whose inputs are all optional side-inputs still
+            # needs *something* to chew on, or it would fire forever
+            return any_optional_ready
+        return True
+
+    def activate(self) -> ActivationResult:
+        """Resume the factory co-routine for one iteration of its loop."""
+        if self._coroutine is None:
+            self._coroutine = self._loop()
+        result = next(self._coroutine)
+        self.activations += 1
+        self.total_in += result.tuples_in
+        self.total_out += result.tuples_out
+        self.total_elapsed += result.elapsed
+        return result
+
+    def close(self) -> None:
+        """Tear down: drop shared-reader registrations."""
+        for binding in self.inputs:
+            if binding.mode is ConsumeMode.SHARED:
+                try:
+                    binding.basket.unregister_reader(self.name)
+                except DataCellError:  # pragma: no cover - defensive
+                    pass
+        self._coroutine = None
+
+    # ------------------------------------------------------------------
+    def _lock_order(self) -> List[Basket]:
+        """All touched baskets, deduped, in global (name) lock order."""
+        seen: Dict[int, Basket] = {}
+        for binding in self.inputs:
+            seen[id(binding.basket)] = binding.basket
+        for basket in self.outputs:
+            seen[id(basket)] = basket
+        return sorted(seen.values(), key=lambda b: b.name.lower())
+
+    def _loop(self) -> Iterator[ActivationResult]:
+        """The infinite factory loop of Algorithm 1.
+
+        ``yield`` is the ``suspend()`` call: control returns to the
+        scheduler with all locks released, and the next activation resumes
+        right after it.
+        """
+        while True:
+            started = time.perf_counter()
+            ordered = self._lock_order()
+            for basket in ordered:
+                basket.lock.acquire()
+            try:
+                snapshots: Dict[str, BasketSnapshot] = {}
+                for binding in self.inputs:
+                    if binding.mode is ConsumeMode.SHARED:
+                        snap = binding.basket.read_new(self.name)
+                    else:
+                        snap = binding.basket.snapshot()
+                    if snap.count:
+                        binding.last_seen_seq = max(
+                            binding.last_seen_seq, int(snap.seqs.max())
+                        )
+                    snapshots[binding.basket.name.lower()] = snap
+                tuples_in = sum(s.count for s in snapshots.values())
+                output = self.plan.run(snapshots)
+                consumed = self._consume(snapshots, output)
+                tuples_out = self._emit(output)
+            finally:
+                for basket in reversed(ordered):
+                    basket.lock.release()
+            yield ActivationResult(
+                fired=True,
+                tuples_in=tuples_in,
+                tuples_out=tuples_out,
+                consumed=consumed,
+                elapsed=time.perf_counter() - started,
+            )
+
+    def _consume(
+        self,
+        snapshots: Dict[str, BasketSnapshot],
+        output: PlanOutput,
+    ) -> int:
+        """Apply each input's consumption mode after the plan ran."""
+        removed = 0
+        for binding in self.inputs:
+            key = binding.basket.name.lower()
+            snap = snapshots[key]
+            if binding.mode is ConsumeMode.ALL:
+                removed += binding.basket.consume_seqs(snap.seqs)
+            elif binding.mode is ConsumeMode.PLAN:
+                positions = output.consumed.get(key)
+                binding.last_consumed = 0
+                if positions is not None and len(positions):
+                    taken = binding.basket.consume_seqs(
+                        snap.seqs[np.asarray(positions, dtype=np.int64)]
+                    )
+                    binding.last_consumed = taken
+                    removed += taken
+            elif binding.mode is ConsumeMode.SHARED:
+                if snap.count:
+                    binding.basket.advance_reader(
+                        self.name, int(snap.seqs.max())
+                    )
+                removed += binding.basket.gc_shared()
+            # PEEK consumes nothing
+        return removed
+
+    def _emit(self, output: PlanOutput) -> int:
+        """Append plan results to the output baskets."""
+        produced = 0
+        by_name = {b.name.lower(): b for b in self.outputs}
+        for name, result in output.results.items():
+            basket = by_name.get(name.lower())
+            if basket is None:
+                raise DataCellError(
+                    f"factory {self.name!r} produced rows for unknown "
+                    f"output basket {name!r}"
+                )
+            produced += basket.append_result(result)
+        return produced
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ins = ", ".join(b.basket.name for b in self.inputs)
+        outs = ", ".join(b.name for b in self.outputs)
+        return f"Factory({self.name!r}: [{ins}] -> [{outs}])"

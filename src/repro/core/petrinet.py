@@ -1,0 +1,216 @@
+"""The Petri-net processing model (paper §2.4).
+
+The DataCell schedules work with Petri-net semantics: baskets are token
+*places*, while receptors, factories and emitters are *transitions*.  A
+transition is enabled when every input place holds tokens (at least the
+configured threshold); firing consumes input tokens, performs processing,
+and deposits result tokens in output places.
+
+This module gives the abstraction two faces:
+
+* a **pure token net** (:class:`MarkedPlace`) for reasoning and property
+  tests — integer markings, no payloads;
+* a **delegating net** where places report token counts from live baskets
+  (:class:`Place` subclasses override :meth:`Place.tokens`) and transitions
+  run arbitrary actions; this is what the DataCell scheduler instantiates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import SchedulerError
+
+__all__ = ["Place", "MarkedPlace", "Transition", "PetriNet"]
+
+
+class Place:
+    """A token place.  Subclasses define where tokens live."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def tokens(self) -> int:  # pragma: no cover - interface
+        """Current number of tokens in this place."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r}, tokens={self.tokens()})"
+
+
+class MarkedPlace(Place):
+    """A place with an explicit integer marking (pure Petri-net semantics)."""
+
+    def __init__(self, name: str, marking: int = 0):
+        super().__init__(name)
+        if marking < 0:
+            raise SchedulerError("marking cannot be negative")
+        self.marking = marking
+
+    def tokens(self) -> int:
+        return self.marking
+
+    def add(self, n: int = 1) -> None:
+        if n < 0:
+            raise SchedulerError("cannot add a negative number of tokens")
+        self.marking += n
+
+    def remove(self, n: int = 1) -> None:
+        if n > self.marking:
+            raise SchedulerError(
+                f"place {self.name!r} holds {self.marking} tokens, "
+                f"cannot remove {n}"
+            )
+        self.marking -= n
+
+
+class Transition:
+    """A computation node: fires when all inputs meet their thresholds.
+
+    ``action`` runs the work.  For pure token nets, the default action
+    moves tokens: it removes ``threshold`` tokens from each
+    :class:`MarkedPlace` input and adds one token to each output.  For
+    DataCell transitions the action is the receptor/factory/emitter
+    activation, and token movement is implicit in basket mutation.
+
+    ``priority`` orders firing when several transitions are enabled
+    (higher first) — the hook the paper's scheduler uses for query
+    priorities.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[Tuple[Place, int]],
+        outputs: Sequence[Place],
+        action: Optional[Callable[[], Optional[int]]] = None,
+        priority: int = 0,
+    ):
+        if not inputs:
+            raise SchedulerError(
+                f"transition {name!r} needs at least one input (paper §2.4: "
+                "each transition has at least one input and one output)"
+            )
+        for place, threshold in inputs:
+            if threshold < 1:
+                raise SchedulerError("input threshold must be >= 1")
+        self.name = name
+        self.inputs: List[Tuple[Place, int]] = list(inputs)
+        self.outputs: List[Place] = list(outputs)
+        self.action = action
+        self.priority = priority
+        self.firings = 0
+
+    def enabled(self) -> bool:
+        """Petri-net enablement: every input holds >= threshold tokens."""
+        return all(place.tokens() >= n for place, n in self.inputs)
+
+    def fire(self) -> Optional[int]:
+        """Fire once.  Raises if not enabled.
+
+        Returns whatever the action returns (DataCell actions return the
+        number of result tuples produced; pure nets return None).
+        """
+        if not self.enabled():
+            raise SchedulerError(f"transition {self.name!r} is not enabled")
+        self.firings += 1
+        if self.action is not None:
+            return self.action()
+        # default pure-net behaviour
+        for place, n in self.inputs:
+            if not isinstance(place, MarkedPlace):
+                raise SchedulerError(
+                    "default firing only moves tokens of MarkedPlaces"
+                )
+            place.remove(n)
+        for place in self.outputs:
+            if not isinstance(place, MarkedPlace):
+                raise SchedulerError(
+                    "default firing only moves tokens of MarkedPlaces"
+                )
+            place.add(1)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ins = ", ".join(f"{p.name}(>={n})" for p, n in self.inputs)
+        outs = ", ".join(p.name for p in self.outputs)
+        return f"Transition({self.name!r}: [{ins}] -> [{outs}])"
+
+
+class PetriNet:
+    """A set of places and transitions with a stepping engine.
+
+    ``step`` fires each enabled transition at most once (priority order),
+    which is one iteration of the paper's scheduler loop;
+    ``run_until_quiescent`` iterates until no transition is enabled.
+    """
+
+    def __init__(self) -> None:
+        self.places: Dict[str, Place] = {}
+        self.transitions: Dict[str, Transition] = {}
+
+    def add_place(self, place: Place) -> Place:
+        if place.name in self.places:
+            raise SchedulerError(f"duplicate place {place.name!r}")
+        self.places[place.name] = place
+        return place
+
+    def add_transition(self, transition: Transition) -> Transition:
+        if transition.name in self.transitions:
+            raise SchedulerError(f"duplicate transition {transition.name!r}")
+        for place, _ in transition.inputs:
+            if self.places.get(place.name) is not place:
+                raise SchedulerError(
+                    f"input place {place.name!r} not part of this net"
+                )
+        for place in transition.outputs:
+            if self.places.get(place.name) is not place:
+                raise SchedulerError(
+                    f"output place {place.name!r} not part of this net"
+                )
+        self.transitions[transition.name] = transition
+        return transition
+
+    def remove_transition(self, name: str) -> None:
+        self.transitions.pop(name, None)
+
+    def enabled_transitions(self) -> List[Transition]:
+        """Enabled transitions, highest priority first (stable)."""
+        enabled = [t for t in self.transitions.values() if t.enabled()]
+        enabled.sort(key=lambda t: -t.priority)
+        return enabled
+
+    def step(self) -> int:
+        """One scheduler iteration: fire every enabled transition once.
+
+        Enablement is re-evaluated before each individual firing, because a
+        firing may consume the tokens another transition was waiting for.
+        Returns the number of transitions fired.
+        """
+        fired = 0
+        for transition in self.enabled_transitions():
+            if transition.enabled():
+                transition.fire()
+                fired += 1
+        return fired
+
+    def run_until_quiescent(self, max_steps: int = 10_000) -> int:
+        """Step until nothing is enabled; returns total firings.
+
+        ``max_steps`` bounds livelock (a net where transitions keep
+        re-enabling each other); hitting the bound raises.
+        """
+        total = 0
+        for _ in range(max_steps):
+            fired = self.step()
+            if fired == 0:
+                return total
+            total += fired
+        raise SchedulerError(
+            f"net did not quiesce within {max_steps} steps "
+            f"({total} firings so far)"
+        )
+
+    def marking(self) -> Dict[str, int]:
+        """Snapshot of token counts — the net's computational state."""
+        return {name: place.tokens() for name, place in self.places.items()}

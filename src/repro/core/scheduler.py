@@ -1,0 +1,165 @@
+"""The DataCell scheduler (paper §2.4).
+
+The scheduler runs an infinite loop; every iteration it checks which
+transitions (receptors, factories, emitters) can be processed by analyzing
+their inputs, and fires the enabled ones.  Firing order respects
+per-transition priorities — the hook for query priorities and low-latency
+requirements.  The system may require a basket to hold at least *n* tuples
+before the relevant factory runs (``Basket.min_count`` / binding
+``min_tuples``); that check lives in each transition's ``enabled()``.
+
+Two driving modes:
+
+* **synchronous** — :meth:`Scheduler.step` / :meth:`run_until_quiescent`;
+  deterministic, used by tests and benchmarks;
+* **threaded** — :meth:`Scheduler.start`; every single component is an
+  independent thread and data streams through the threads connected by
+  baskets, exactly the paper's multi-threaded architecture.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Protocol, runtime_checkable
+
+from ..errors import SchedulerError
+from .factory import ActivationResult
+
+__all__ = ["SchedulableTransition", "Scheduler"]
+
+
+@runtime_checkable
+class SchedulableTransition(Protocol):
+    """Anything the scheduler can drive: receptors, factories, emitters."""
+
+    name: str
+    priority: int
+
+    def enabled(self) -> bool: ...
+
+    def activate(self) -> ActivationResult: ...
+
+
+class Scheduler:
+    """Organizes the execution of the DataCell's transitions."""
+
+    def __init__(self, poll_interval: float = 0.001):
+        self._transitions: Dict[str, SchedulableTransition] = {}
+        self._lock = threading.RLock()
+        self._threads: List[threading.Thread] = []
+        self._running = threading.Event()
+        self.poll_interval = poll_interval
+        self.total_firings = 0
+        self.total_iterations = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, transition: SchedulableTransition) -> None:
+        with self._lock:
+            if transition.name in self._transitions:
+                raise SchedulerError(
+                    f"transition {transition.name!r} already registered"
+                )
+            self._transitions[transition.name] = transition
+            if self._running.is_set():
+                self._spawn(transition)
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._transitions.pop(name, None)
+
+    def transitions(self) -> List[SchedulableTransition]:
+        with self._lock:
+            return list(self._transitions.values())
+
+    def get(self, name: str) -> SchedulableTransition:
+        with self._lock:
+            try:
+                return self._transitions[name]
+            except KeyError:
+                raise SchedulerError(f"unknown transition {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # synchronous driving
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """One scheduler iteration: fire every enabled transition once.
+
+        Transitions are visited highest-priority first; enablement is
+        re-checked immediately before each firing because earlier firings
+        may have consumed the inputs (or produced new ones).
+        """
+        if self._running.is_set():
+            raise SchedulerError("cannot step() while threads are running")
+        self.total_iterations += 1
+        ordered = sorted(self.transitions(), key=lambda t: -t.priority)
+        fired = 0
+        for transition in ordered:
+            if transition.enabled():
+                transition.activate()
+                fired += 1
+        self.total_firings += fired
+        return fired
+
+    def run_until_quiescent(self, max_steps: int = 100_000) -> int:
+        """Step until no transition is enabled; returns total firings.
+
+        A continuous query network quiesces when all channels are drained,
+        all baskets are below their thresholds, and all results delivered.
+        """
+        total = 0
+        for _ in range(max_steps):
+            fired = self.step()
+            if fired == 0:
+                return total
+            total += fired
+        raise SchedulerError(
+            f"network did not quiesce within {max_steps} scheduler steps"
+        )
+
+    # ------------------------------------------------------------------
+    # threaded driving
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn one thread per transition (the paper's architecture)."""
+        with self._lock:
+            if self._running.is_set():
+                raise SchedulerError("scheduler already running")
+            self._running.set()
+            for transition in self._transitions.values():
+                self._spawn(transition)
+
+    def _spawn(self, transition: SchedulableTransition) -> None:
+        thread = threading.Thread(
+            target=self._drive,
+            args=(transition,),
+            name=f"datacell-{transition.name}",
+            daemon=True,
+        )
+        self._threads.append(thread)
+        thread.start()
+
+    def _drive(self, transition: SchedulableTransition) -> None:
+        while self._running.is_set():
+            with self._lock:
+                alive = self._transitions.get(transition.name) is transition
+            if not alive:
+                return
+            if transition.enabled():
+                transition.activate()
+                self.total_firings += 1
+            else:
+                time.sleep(self.poll_interval)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop all transition threads and join them."""
+        self._running.clear()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = []
+
+    @property
+    def running(self) -> bool:
+        return self._running.is_set()

@@ -1,0 +1,168 @@
+"""Query-plan splitting and shared factories (paper §3.2).
+
+Two multi-query mechanisms:
+
+``plan splitting``
+    With shared baskets, a lightweight query q1 must wait for a heavy
+    query q2 before the shared basket can be refilled.  Splitting inserts
+    a cheap *splitter* factory that immediately copies the shared input
+    into per-query staging baskets and releases it — "part of the input
+    can be released as soon as possible, effectively eliminating the need
+    for a fast query to wait for a slow one" (:func:`build_split_pipeline`).
+
+``shared sub-plans``
+    Queries with overlapping selection ranges are served by one shared
+    factory evaluating the covering predicate once into an intermediate
+    basket, which the per-query refinement factories then read as shared
+    readers — sharing both the basket *and* the execution cost
+    (:func:`build_shared_subplan_pipeline`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DataCellError
+from ..kernel.join import projection
+from ..kernel.mal import ResultSet
+from ..kernel.select import range_select
+from .basket import Basket, BasketSnapshot, TIME_COLUMN
+from .clock import Clock
+from .factory import (
+    ConsumeMode,
+    ContinuousPlan,
+    Factory,
+    InputBinding,
+    PlanOutput,
+)
+from .strategies import RangeQuery, SelectPlan, StrategyNetwork
+
+__all__ = [
+    "SplitterPlan",
+    "build_split_pipeline",
+    "build_shared_subplan_pipeline",
+]
+
+
+class SplitterPlan(ContinuousPlan):
+    """The cheap front factory of plan splitting: copy and release.
+
+    Reads the shared input and appends the full content to each staging
+    basket.  Its cost is one memcpy per query — orders of magnitude below
+    a heavy aggregate plan — so the shared input basket is drained at
+    stream speed regardless of how slow downstream queries are.
+    """
+
+    def __init__(self, input_basket: str, staging_baskets: Sequence[str]):
+        if not staging_baskets:
+            raise DataCellError("splitter needs at least one staging basket")
+        self.input_basket = input_basket.lower()
+        self.staging_baskets = [b.lower() for b in staging_baskets]
+        self.tuples_copied = 0
+
+    def run(self, snapshots: Dict[str, BasketSnapshot]) -> PlanOutput:
+        snap = snapshots[self.input_basket]
+        if snap.count == 0:
+            return PlanOutput()
+        names = [n for n in snap.names if n != TIME_COLUMN]
+        result = ResultSet(names, [snap.column(n) for n in names])
+        self.tuples_copied += snap.count * len(self.staging_baskets)
+        return PlanOutput(
+            results={name: result for name in self.staging_baskets}
+        )
+
+    def describe(self) -> str:
+        return f"splitter -> {self.staging_baskets}"
+
+
+def build_split_pipeline(
+    stream: Basket,
+    queries: Sequence[Tuple[RangeQuery, ContinuousPlan]],
+    clock: Optional[Clock] = None,
+) -> StrategyNetwork:
+    """Plan splitting: splitter factory + per-query staging baskets.
+
+    ``queries`` pairs each query descriptor with the (possibly heavy) plan
+    that should run on its private staging basket.  Plans must read from
+    the staging basket name ``{stream}_{query}_stage`` and write to the
+    output basket name ``{query}_out`` (the builder creates both and tells
+    you via the returned network).  For convenience, pass ``None`` as the
+    plan to get a plain :class:`SelectPlan`.
+    """
+    clock = clock or stream.clock
+    columns = [(c.name, c.atom) for c in stream.user_columns]
+    staging: List[Basket] = []
+    factories: List[Factory] = []
+    outputs: Dict[str, Basket] = {}
+    for query, plan in queries:
+        stage = Basket(f"{stream.name}_{query.name}_stage", columns, clock)
+        output = Basket(f"{query.name}_out", columns, clock)
+        if plan is None:
+            plan = SelectPlan(query, stage.name, output.name)
+        factories.append(
+            Factory(
+                query.name,
+                plan,
+                [InputBinding(stage, ConsumeMode.ALL)],
+                [output],
+            )
+        )
+        staging.append(stage)
+        outputs[query.name] = output
+    splitter_plan = SplitterPlan(stream.name, [b.name for b in staging])
+    splitter = Factory(
+        f"{stream.name}_splitter",
+        splitter_plan,
+        [InputBinding(stream, ConsumeMode.ALL)],
+        staging,
+        priority=5,  # release the shared input ahead of query work
+    )
+    return StrategyNetwork(stream, [splitter] + factories, outputs, [])
+
+
+def build_shared_subplan_pipeline(
+    stream: Basket,
+    queries: Sequence[RangeQuery],
+    clock: Optional[Clock] = None,
+) -> StrategyNetwork:
+    """Shared sub-plan: one covering selection feeds all refinements.
+
+    The shared factory evaluates the union range ``[min(low), max(high)]``
+    once; each query's refinement factory then selects its own range from
+    the (much smaller) intermediate basket as a shared reader.
+    """
+    if not queries:
+        raise DataCellError("need at least one query")
+    lows = [q.low for q in queries]
+    highs = [q.high for q in queries]
+    if any(v is None for v in lows + highs):
+        raise DataCellError(
+            "shared sub-plan requires bounded ranges to build the cover"
+        )
+    cover = RangeQuery("cover", queries[0].column, min(lows), max(highs))
+    clock = clock or stream.clock
+    columns = [(c.name, c.atom) for c in stream.user_columns]
+    intermediate = Basket(f"{stream.name}_cover", columns, clock)
+    shared_factory = Factory(
+        f"{stream.name}_cover_factory",
+        SelectPlan(cover, stream.name, intermediate.name),
+        [InputBinding(stream, ConsumeMode.ALL)],
+        [intermediate],
+        priority=5,
+    )
+    factories = [shared_factory]
+    outputs: Dict[str, Basket] = {}
+    for query in queries:
+        output = Basket(f"{query.name}_out", columns, clock)
+        factories.append(
+            Factory(
+                query.name,
+                SelectPlan(query, intermediate.name, output.name),
+                [InputBinding(intermediate, ConsumeMode.SHARED)],
+                [output],
+            )
+        )
+        outputs[query.name] = output
+    return StrategyNetwork(stream, factories, outputs, [])

@@ -1,0 +1,109 @@
+"""Topology introspection: the scheduler's network as an explicit Petri net.
+
+The paper models the DataCell as a Petri net (baskets = places,
+receptors/factories/emitters = transitions).  This module recovers that
+net from a live :class:`~repro.core.scheduler.Scheduler` — for debugging,
+documentation, and the structural assertions in tests — and renders it as
+Graphviz DOT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .basket import Basket
+from .emitter import Emitter
+from .factory import Factory
+from .receptor import Receptor
+from .scheduler import Scheduler
+from .strategies import ReplicatorTransition
+
+__all__ = ["NetworkTopology", "build_topology"]
+
+
+@dataclass
+class NetworkTopology:
+    """Places, transitions and arcs of the running query network."""
+
+    places: List[str] = field(default_factory=list)  # basket/channel names
+    transitions: List[Tuple[str, str]] = field(default_factory=list)
+    # arcs: (source node, target node); nodes are place or transition names
+    arcs: List[Tuple[str, str]] = field(default_factory=list)
+
+    def successors(self, node: str) -> List[str]:
+        return sorted(t for s, t in self.arcs if s == node)
+
+    def predecessors(self, node: str) -> List[str]:
+        return sorted(s for s, t in self.arcs if t == node)
+
+    def downstream_of(self, node: str) -> Set[str]:
+        """Every node reachable from ``node`` (the data's future)."""
+        seen: Set[str] = set()
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            for nxt in self.successors(current):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def to_dot(self) -> str:
+        """Graphviz DOT: places as ellipses, transitions as boxes."""
+        lines = ["digraph datacell {", "  rankdir=LR;"]
+        for place in self.places:
+            lines.append(f'  "{place}" [shape=ellipse];')
+        for name, kind in self.transitions:
+            lines.append(f'  "{name}" [shape=box, label="{name}\\n({kind})"];')
+        for src, dst in self.arcs:
+            lines.append(f'  "{src}" -> "{dst}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_topology(scheduler: Scheduler) -> NetworkTopology:
+    """Recover the Petri net from the scheduler's registered transitions."""
+    topo = NetworkTopology()
+    places: Set[str] = set()
+
+    def add_place(name: str) -> None:
+        if name not in places:
+            places.add(name)
+            topo.places.append(name)
+
+    for transition in scheduler.transitions():
+        name = transition.name
+        if isinstance(transition, Receptor):
+            topo.transitions.append((name, "receptor"))
+            channel = getattr(transition.channel, "name", "channel")
+            add_place(f"channel:{channel}")
+            topo.arcs.append((f"channel:{channel}", name))
+            for basket in transition.targets:
+                add_place(basket.name)
+                topo.arcs.append((name, basket.name))
+        elif isinstance(transition, Factory):
+            topo.transitions.append((name, "factory"))
+            for binding in transition.inputs:
+                add_place(binding.basket.name)
+                topo.arcs.append((binding.basket.name, name))
+            for basket in transition.outputs:
+                add_place(basket.name)
+                topo.arcs.append((name, basket.name))
+        elif isinstance(transition, Emitter):
+            topo.transitions.append((name, "emitter"))
+            add_place(transition.source.name)
+            topo.arcs.append((transition.source.name, name))
+            sink = f"clients:{name}"
+            add_place(sink)
+            topo.arcs.append((name, sink))
+        elif isinstance(transition, ReplicatorTransition):
+            topo.transitions.append((name, "replicator"))
+            add_place(transition.source.name)
+            topo.arcs.append((transition.source.name, name))
+            for basket in transition.targets:
+                add_place(basket.name)
+                topo.arcs.append((name, basket.name))
+        else:  # unknown custom transition: node only
+            topo.transitions.append((name, type(transition).__name__))
+    return topo

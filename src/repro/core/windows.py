@@ -1,0 +1,758 @@
+"""Windowed query processing (paper §3.1).
+
+Window queries delimit the unbounded stream so blocking operators stay
+feasible.  The DataCell does **not** add windowed operators to the kernel;
+windows are realized at the query-plan/scheduling level, on top of plain
+relational primitives — exactly the paper's design goal.
+
+Two evaluation routes are implemented, as §3.1 describes:
+
+``re-evaluation``
+    data is processed one full window at a time; on every slide the query
+    is evaluated from scratch on the new window extent
+    (:class:`ReEvalWindowAggregatePlan`).
+
+``incremental``
+    the basic-window model (Zhu & Shasha [25]): a window of size ``w``
+    sliding by ``s`` is split into basic windows of ``bw = gcd(w, s)``
+    tuples (or seconds).  Each basic window keeps a mergeable *summary*
+    (:class:`~repro.kernel.aggregate.AggregateState`); sliding drops
+    expired summaries and merges the survivors — already-seen tuples are
+    never rescanned (:class:`IncrementalWindowAggregatePlan`).
+
+Both plans expose ``values_processed`` / ``merges_done`` counters so the
+benchmarks can report *work*, not just wall-time, and property tests assert
+the two routes produce identical answers.
+
+Window boundaries are aligned to the stream origin: count window ``k``
+covers tuple positions ``[k*slide, k*slide + size)``; time window ``k``
+covers ``[k*slide, k*slide + size)`` seconds.  A time window is considered
+complete once the watermark (max ingest timestamp seen) passes its end.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque  # noqa: F401 (kept for SlidingWindowJoinPlan typing)
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DataCellError
+from ..kernel.aggregate import AggregateState
+from ..kernel.bat import bat_from_values
+from ..kernel.mal import ResultSet
+from ..kernel.types import AtomType
+from .basket import BasketSnapshot, TIME_COLUMN
+from .factory import ContinuousPlan, PlanOutput
+
+__all__ = [
+    "WindowMode",
+    "WindowSpec",
+    "ReEvalWindowAggregatePlan",
+    "IncrementalWindowAggregatePlan",
+    "SlidingWindowJoinPlan",
+    "basic_window_width",
+]
+
+
+class WindowMode(enum.Enum):
+    COUNT = "count"
+    TIME = "time"
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A (sliding) window definition.
+
+    ``slide == size`` is a tumbling window.  For COUNT mode both values are
+    tuple counts (ints); for TIME mode they are seconds.
+    """
+
+    mode: WindowMode
+    size: float
+    slide: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        slide = self.size if self.slide is None else self.slide
+        object.__setattr__(self, "slide", slide)
+        if self.size <= 0 or slide <= 0:
+            raise DataCellError("window size and slide must be positive")
+        if slide > self.size:
+            raise DataCellError(
+                "slide larger than window size would skip tuples"
+            )
+        if self.mode is WindowMode.COUNT:
+            if int(self.size) != self.size or int(slide) != slide:
+                raise DataCellError("count windows need integer size/slide")
+
+    @property
+    def tumbling(self) -> bool:
+        return self.slide == self.size
+
+    def window_start(self, k: int) -> float:
+        return k * self.slide
+
+    def window_end(self, k: int) -> float:
+        return k * self.slide + self.size
+
+
+def basic_window_width(spec: WindowSpec) -> float:
+    """The basic-window width ``bw = gcd(size, slide)``.
+
+    For TIME mode the gcd is computed on microsecond-scaled integers so
+    fractional second sizes still partition exactly.
+    """
+    if spec.mode is WindowMode.COUNT:
+        return float(math.gcd(int(spec.size), int(spec.slide)))
+    scale = 1_000_000
+    a = int(round(spec.size * scale))
+    b = int(round(spec.slide * scale))
+    return math.gcd(a, b) / scale
+
+
+def _aggregate_atom(name: str) -> AtomType:
+    return AtomType.LNG if name in ("count", "count_star") else AtomType.DBL
+
+
+class _WindowAggregateBase(ContinuousPlan):
+    """Shared buffering/emission logic of the two evaluation routes."""
+
+    def __init__(
+        self,
+        input_basket: str,
+        value_column: str,
+        aggregates: Sequence[str],
+        spec: WindowSpec,
+        output_basket: str,
+        group_column: Optional[str] = None,
+    ):
+        bad = [a for a in aggregates if a not in
+               ("sum", "count", "count_star", "avg", "min", "max")]
+        if bad:
+            raise DataCellError(f"unknown window aggregates: {bad}")
+        if not aggregates:
+            raise DataCellError("window plan needs at least one aggregate")
+        self.input_basket = input_basket.lower()
+        self.value_column = value_column.lower()
+        self.aggregates = list(aggregates)
+        self.spec = spec
+        self.output_basket = output_basket.lower()
+        self.group_column = group_column.lower() if group_column else None
+        self.next_window = 0
+        self.values_processed = 0  # tuples touched by aggregation work
+        self.merges_done = 0  # summary merges (incremental route only)
+        self.windows_emitted = 0
+
+    # ------------------------------------------------------------------
+    def output_schema(self) -> List[Tuple[str, AtomType]]:
+        """Schema of the rows this plan emits (window id, group?, aggs)."""
+        cols: List[Tuple[str, AtomType]] = [("window_id", AtomType.LNG)]
+        if self.group_column:
+            cols.append((self.group_column, AtomType.STR))
+        for name in self.aggregates:
+            cols.append((name, _aggregate_atom(name)))
+        return cols
+
+    def _extract(self, snap: BasketSnapshot):
+        """Pull (values, nil mask, times, groups) from a snapshot."""
+        value_bat = snap.column(self.value_column)
+        nils = value_bat.nil_positions()
+        values = np.where(nils, 0.0, value_bat.tail.astype(np.float64))
+        times = snap.column(TIME_COLUMN).tail.astype(np.float64)
+        if self.group_column:
+            groups = [
+                None if g is None else str(g)
+                for g in snap.column(self.group_column).python_list()
+            ]
+        else:
+            groups = None
+        return values, nils, times, groups
+
+    def _result_from_rows(self, rows: List[Tuple[Any, ...]]) -> PlanOutput:
+        if not rows:
+            return PlanOutput()
+        schema = self.output_schema()
+        columns = list(zip(*rows))
+        bats = [
+            bat_from_values(atom, list(col))
+            for (name, atom), col in zip(schema, columns)
+        ]
+        result = ResultSet([name for name, _ in schema], bats)
+        return PlanOutput(results={self.output_basket: result})
+
+    def tuples_needed(self) -> Optional[int]:
+        """How many more tuples complete the next window (COUNT mode).
+
+        The scheduler's window trigger (paper §3.1: "trigger the evaluation
+        of the proper factories when there are enough tuples to fill one or
+        more windows") polls this to gate factory activation.  ``None``
+        means the plan cannot tell (TIME mode: the trigger watches
+        timestamps instead).
+        """
+        return None
+
+
+class ReEvalWindowAggregatePlan(_WindowAggregateBase):
+    """Route (a): full re-evaluation of every window extent.
+
+    Keeps the raw tuples of all open windows buffered; each emission scans
+    the complete window from scratch, which is exactly what a plain DBMS
+    plan would do when re-run — no state is reused between slides.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._values: List[np.ndarray] = []
+        self._nils: List[np.ndarray] = []
+        self._times: List[np.ndarray] = []
+        self._groups: List[List[Optional[str]]] = []
+        self._offset = 0  # stream position / time of the buffer head
+
+    # -- buffering ------------------------------------------------------
+    def _buffered(self):
+        values = (
+            np.concatenate(self._values)
+            if self._values
+            else np.empty(0, dtype=np.float64)
+        )
+        nils = (
+            np.concatenate(self._nils)
+            if self._nils
+            else np.empty(0, dtype=bool)
+        )
+        times = (
+            np.concatenate(self._times)
+            if self._times
+            else np.empty(0, dtype=np.float64)
+        )
+        groups: Optional[List[Optional[str]]]
+        if self.group_column:
+            groups = [g for chunk in self._groups for g in chunk]
+        else:
+            groups = None
+        return values, nils, times, groups
+
+    def run(self, snapshots: Dict[str, BasketSnapshot]) -> PlanOutput:
+        snap = snapshots[self.input_basket]
+        if snap.count:
+            values, nils, times, groups = self._extract(snap)
+            self._values.append(values)
+            self._nils.append(nils)
+            self._times.append(times)
+            if groups is not None:
+                self._groups.append(groups)
+        rows: List[Tuple[Any, ...]] = []
+        while True:
+            row_batch = self._try_emit()
+            if row_batch is None:
+                break
+            rows.extend(row_batch)
+        return self._result_from_rows(rows)
+
+    # -- emission -------------------------------------------------------
+    def _try_emit(self) -> Optional[List[Tuple[Any, ...]]]:
+        values, nils, times, groups = self._buffered()
+        k = self.next_window
+        if self.spec.mode is WindowMode.COUNT:
+            start = int(self.spec.window_start(k)) - self._offset
+            end = int(self.spec.window_end(k)) - self._offset
+            if len(values) < end:
+                return None
+            in_window = slice(start, end)
+        else:
+            if len(times) == 0:
+                return None
+            watermark = float(times.max())
+            if watermark < self.spec.window_end(k):
+                return None
+            mask = (times >= self.spec.window_start(k)) & (
+                times < self.spec.window_end(k)
+            )
+            in_window = np.flatnonzero(mask)
+        rows = self._evaluate_window(k, values, nils, groups, in_window)
+        self.next_window += 1
+        self._expire()
+        self.windows_emitted += 1
+        return rows
+
+    def _evaluate_window(self, k, values, nils, groups, in_window):
+        wvals = values[in_window]
+        wnils = nils[in_window]
+        self.values_processed += int(len(wvals))
+        if groups is None:
+            state = AggregateState()
+            state.add_array(wvals[~wnils])
+            star = int(len(wvals))
+            return [self._row(k, None, state, star)]
+        if isinstance(in_window, slice):
+            wgroups = groups[in_window]
+        else:
+            wgroups = [groups[i] for i in in_window]
+        per_group: Dict[Optional[str], AggregateState] = {}
+        stars: Dict[Optional[str], int] = {}
+        for value, nil, grp in zip(wvals, wnils, wgroups):
+            stars[grp] = stars.get(grp, 0) + 1
+            state = per_group.setdefault(grp, AggregateState())
+            if not nil:
+                state.add_value(float(value))
+        return [
+            self._row(k, grp, per_group[grp], stars[grp])
+            for grp in per_group
+        ]
+
+    def _row(self, k, group, state: AggregateState, star: int):
+        row: List[Any] = [k]
+        if self.group_column:
+            row.append(group)
+        for name in self.aggregates:
+            if name == "count_star":
+                row.append(star)
+            else:
+                value = state.result(name)
+                if name == "count":
+                    row.append(value)
+                else:
+                    row.append(None if value is None else float(value))
+        return tuple(row)
+
+    def _expire(self) -> None:
+        """Drop buffer prefix no future window can reference."""
+        if self.spec.mode is WindowMode.COUNT:
+            keep_from = int(self.spec.window_start(self.next_window))
+            drop = keep_from - self._offset
+            if drop <= 0:
+                return
+            values, nils, times, groups = self._buffered()
+            self._values = [values[drop:]]
+            self._nils = [nils[drop:]]
+            self._times = [times[drop:]]
+            if groups is not None:
+                self._groups = [groups[drop:]]
+            self._offset = keep_from
+        else:
+            horizon = self.spec.window_start(self.next_window)
+            values, nils, times, groups = self._buffered()
+            keep = times >= horizon
+            self._values = [values[keep]]
+            self._nils = [nils[keep]]
+            self._times = [times[keep]]
+            if groups is not None:
+                self._groups = [
+                    [g for g, k_ in zip(groups, keep) if k_]
+                ]
+
+    def tuples_needed(self) -> Optional[int]:
+        if self.spec.mode is not WindowMode.COUNT:
+            return None
+        values, _, _, _ = self._buffered()
+        end = int(self.spec.window_end(self.next_window)) - self._offset
+        return max(0, end - len(values))
+
+    def describe(self) -> str:
+        return f"reeval-window({self.aggregates}, {self.spec})"
+
+
+class _BasicWindow:
+    """One ``bw`` with its summary (grouped or plain) and tuple count."""
+
+    __slots__ = ("state", "groups", "stars", "count", "end")
+
+    def __init__(self, grouped: bool, end: float):
+        self.state = None if grouped else AggregateState()
+        self.groups: Optional[Dict[Optional[str], AggregateState]] = (
+            {} if grouped else None
+        )
+        self.stars: Dict[Optional[str], int] = {}
+        self.count = 0
+        self.end = end  # COUNT: position end; TIME: timestamp end
+
+
+class IncrementalWindowAggregatePlan(_WindowAggregateBase):
+    """Route (b): basic-window incremental evaluation.
+
+    Every tuple is folded into exactly one basic-window summary when it
+    arrives; emissions merge ``size/bw`` summaries without revisiting any
+    tuple.  ``values_processed`` therefore grows with the *stream*, not
+    with ``windows × size`` as in re-evaluation.
+    """
+
+    def __init__(self, *args, bw_override: Optional[float] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        natural = basic_window_width(self.spec)
+        if bw_override is None:
+            self.bw = natural
+        else:
+            # ablation hook: any divisor of the natural bw partitions
+            # windows exactly (more summaries, finer granularity)
+            ratio = natural / bw_override
+            if bw_override <= 0 or abs(ratio - round(ratio)) > 1e-9:
+                raise DataCellError(
+                    "bw_override must evenly divide the natural basic "
+                    f"window width ({natural})"
+                )
+            self.bw = float(bw_override)
+        # A plain list with a base offset: deque random access is O(n),
+        # and emission indexes size/bw slots per window — with small bw
+        # that dominated the whole route.  The consumed prefix is trimmed
+        # in amortized batches.
+        self._complete: List[_BasicWindow] = []
+        self._complete_base = 0  # index of first retained complete bw
+        self._current: Optional[_BasicWindow] = None
+        self._position = 0  # tuples ingested so far (COUNT mode)
+
+    # ------------------------------------------------------------------
+    def run(self, snapshots: Dict[str, BasketSnapshot]) -> PlanOutput:
+        snap = snapshots[self.input_basket]
+        if snap.count:
+            values, nils, times, groups = self._extract(snap)
+            self.values_processed += int(len(values))
+            if self.spec.mode is WindowMode.COUNT:
+                self._ingest_count(values, nils, groups)
+            else:
+                self._ingest_time(values, nils, times, groups)
+        rows: List[Tuple[Any, ...]] = []
+        while True:
+            batch = self._try_emit()
+            if batch is None:
+                break
+            rows.extend(batch)
+        return self._result_from_rows(rows)
+
+    # -- ingest ---------------------------------------------------------
+    def _fold(self, bw_slot: _BasicWindow, value, nil, group) -> None:
+        bw_slot.count += 1
+        bw_slot.stars[group] = bw_slot.stars.get(group, 0) + 1
+        if self.group_column:
+            state = bw_slot.groups.setdefault(group, AggregateState())
+        else:
+            state = bw_slot.state
+        if not nil:
+            state.add_value(float(value))
+
+    def _ingest_count(self, values, nils, groups) -> None:
+        width = int(self.bw)
+        if groups is None:
+            # vectorized fast path: fold whole bw-aligned chunks at once
+            i = 0
+            n = len(values)
+            while i < n:
+                if self._current is None:
+                    self._current = _BasicWindow(
+                        False, self._position + width
+                    )
+                space = width - self._current.count
+                chunk = slice(i, min(n, i + space))
+                vals = values[chunk]
+                nil_chunk = nils[chunk]
+                taken = len(vals)
+                self._current.state.add_array(vals[~nil_chunk])
+                self._current.count += taken
+                self._current.stars[None] = (
+                    self._current.stars.get(None, 0) + taken
+                )
+                self._position += taken
+                i += taken
+                if self._current.count == width:
+                    self._complete.append(self._current)
+                    self._current = None
+            return
+        for i in range(len(values)):
+            if self._current is None:
+                self._current = _BasicWindow(
+                    bool(self.group_column), self._position + width
+                )
+            group = groups[i]
+            self._fold(self._current, values[i], nils[i], group)
+            self._position += 1
+            if self._current.count == width:
+                self._complete.append(self._current)
+                self._current = None
+
+    def _ingest_time(self, values, nils, times, groups) -> None:
+        if groups is None and len(values):
+            # vectorized fast path: group positions by bw slot (arrival is
+            # time-ordered within a snapshot for in-order streams; fall
+            # back to the scalar path when it is not)
+            slots = np.floor(times / self.bw + 1e-9).astype(np.int64)
+            if np.all(slots[1:] >= slots[:-1]):
+                boundaries = np.flatnonzero(np.diff(slots)) + 1
+                starts = np.concatenate(([0], boundaries))
+                stops = np.concatenate((boundaries, [len(values)]))
+                for start, stop in zip(starts, stops):
+                    end = (int(slots[start]) + 1) * self.bw
+                    self._ensure_current(end)
+                    vals = values[start:stop]
+                    nil_chunk = nils[start:stop]
+                    self._current.state.add_array(vals[~nil_chunk])
+                    self._current.count += stop - start
+                    self._current.stars[None] = (
+                        self._current.stars.get(None, 0) + (stop - start)
+                    )
+                self._watermark = float(times.max())
+                return
+        for i in range(len(values)):
+            stamp = float(times[i])
+            slot = math.floor(stamp / self.bw + 1e-9)
+            self._ensure_current((slot + 1) * self.bw)
+            group = groups[i] if groups is not None else None
+            self._fold(self._current, values[i], nils[i], group)
+        self._watermark = float(times.max()) if len(times) else None
+
+    def _append_complete(self, slot: _BasicWindow) -> None:
+        """Append a completed bw, padding any slot gap with empties.
+
+        Keeping ``_complete`` contiguous in bw-index space (entry ``i``
+        always ends at ``(base+i+1)*bw``) is the invariant that makes
+        window emission pure index arithmetic — and whose earlier absence
+        allowed sealed-across-a-gap windows to deadlock gap synthesis.
+        """
+        next_end = (
+            self._complete_base + len(self._complete) + 1
+        ) * self.bw
+        while slot.end > next_end + 1e-9:
+            self._complete.append(
+                _BasicWindow(bool(self.group_column), next_end)
+            )
+            next_end += self.bw
+        self._complete.append(slot)
+
+    def _ensure_current(self, end: float) -> None:
+        """Make the open bw the one ending at ``end`` (sealing as needed).
+
+        A tuple for an earlier, already-sealed range (out-of-order beyond
+        the open bw) is folded into the open bw — a documented
+        approximation; in-order streams never hit it.
+        """
+        if self._current is not None:
+            if abs(self._current.end - end) < 1e-9 or end < self._current.end:
+                return
+            self._append_complete(self._current)
+            self._current = None
+        self._current = _BasicWindow(bool(self.group_column), end)
+
+    def _seal_before(self, end: float) -> None:
+        """Close the open bw if a later one starts (time advanced)."""
+        if self._current is not None and self._current.end < end:
+            self._append_complete(self._current)
+            self._current = None
+
+    # -- emission -------------------------------------------------------
+    def _bw_index_range(self, k: int) -> Tuple[int, int]:
+        """Absolute bw indices [first, last) making up window ``k``."""
+        first = int(round(self.spec.window_start(k) / self.bw))
+        last = int(round(self.spec.window_end(k) / self.bw))
+        return first, last
+
+    def _try_emit(self) -> Optional[List[Tuple[Any, ...]]]:
+        k = self.next_window
+        first, last = self._bw_index_range(k)
+        have = self._complete_base + len(self._complete)
+        if self.spec.mode is WindowMode.TIME:
+            # time gaps: synthesize empty bws up to the watermark
+            watermark = getattr(self, "_watermark", None)
+            if watermark is None or watermark < self.spec.window_end(k):
+                return None
+            self._materialize_empty_up_to(last)
+            have = self._complete_base + len(self._complete)
+        if have < last:
+            return None
+        slots = self._complete[
+            first - self._complete_base : last - self._complete_base
+        ]
+        rows = self._merge_and_emit(k, slots)
+        self.next_window += 1
+        self._expire()
+        self.windows_emitted += 1
+        return rows
+
+    def _materialize_empty_up_to(self, last: int) -> None:
+        """Insert empty summaries for time ranges with no tuples.
+
+        ``_complete`` is contiguous by construction (`_append_complete`
+        pads gaps), so synthesis is a simple extension: seal the open bw
+        when its slot comes up, otherwise append an empty summary.  The
+        watermark check in ``_try_emit`` guarantees no tuple for these
+        ranges can still arrive.
+        """
+        while self._complete_base + len(self._complete) < last:
+            next_end = (
+                self._complete_base + len(self._complete) + 1
+            ) * self.bw
+            if self._current is not None and (
+                self._current.end <= next_end + 1e-9
+            ):
+                slot = self._current
+                self._current = None
+                self._append_complete(slot)
+            else:
+                self._complete.append(
+                    _BasicWindow(bool(self.group_column), next_end)
+                )
+
+    def _merge_and_emit(self, k: int, slots: List[_BasicWindow]):
+        self.merges_done += max(0, len(slots) - 1)
+        if not self.group_column:
+            # in-place accumulation: no AggregateState churn per merge
+            merged = AggregateState()
+            star = 0
+            for slot in slots:
+                state = slot.state
+                merged.count += state.count
+                merged.total += state.total
+                if state.minimum is not None and (
+                    merged.minimum is None or state.minimum < merged.minimum
+                ):
+                    merged.minimum = state.minimum
+                if state.maximum is not None and (
+                    merged.maximum is None or state.maximum > merged.maximum
+                ):
+                    merged.maximum = state.maximum
+                star += slot.count
+            return [self._row(k, None, merged, star)]
+        per_group: Dict[Optional[str], AggregateState] = {}
+        stars: Dict[Optional[str], int] = {}
+        for slot in slots:
+            for grp, state in slot.groups.items():
+                if grp in per_group:
+                    per_group[grp] = per_group[grp].merge(state)
+                else:
+                    per_group[grp] = state
+            for grp, n in slot.stars.items():
+                stars[grp] = stars.get(grp, 0) + n
+        return [
+            self._row(k, grp, per_group[grp], stars.get(grp, 0))
+            for grp in per_group
+        ]
+
+    _row = ReEvalWindowAggregatePlan._row
+
+    def _expire(self) -> None:
+        first, _ = self._bw_index_range(self.next_window)
+        drop = min(first - self._complete_base, len(self._complete))
+        if drop > 0 and (drop >= 256 or drop == len(self._complete)):
+            # amortized prefix trim; between trims, slicing with the base
+            # offset skips the logically-expired entries
+            del self._complete[:drop]
+            self._complete_base += drop
+
+    def tuples_needed(self) -> Optional[int]:
+        if self.spec.mode is not WindowMode.COUNT:
+            return None
+        end = int(self.spec.window_end(self.next_window))
+        return max(0, end - self._position)
+
+    def describe(self) -> str:
+        return f"incremental-window({self.aggregates}, {self.spec}, bw={self.bw})"
+
+
+class SlidingWindowJoinPlan(ContinuousPlan):
+    """A symmetric incremental sliding-window equi-join of two streams.
+
+    Each stream keeps the tuples of the last ``window`` seconds.  On
+    activation, new left tuples probe the right buffer and vice versa —
+    already-matched pairs are never recomputed (pipelined symmetric hash
+    join).  Expired tuples are dropped by watermark.
+
+    Output rows: ``(key, left_time, right_time)`` appended to the output
+    basket, which must have schema ``(key <type>, left_time timestamp,
+    right_time timestamp)``.
+    """
+
+    def __init__(
+        self,
+        left_basket: str,
+        right_basket: str,
+        left_key: str,
+        right_key: str,
+        window_seconds: float,
+        output_basket: str,
+    ):
+        if window_seconds <= 0:
+            raise DataCellError("join window must be positive")
+        self.left_basket = left_basket.lower()
+        self.right_basket = right_basket.lower()
+        self.left_key = left_key.lower()
+        self.right_key = right_key.lower()
+        self.window = float(window_seconds)
+        self.output_basket = output_basket.lower()
+        self._left: Dict[Any, List[float]] = {}
+        self._right: Dict[Any, List[float]] = {}
+        self._watermark = -math.inf
+        self.pairs_emitted = 0
+        self.probes = 0
+
+    def run(self, snapshots: Dict[str, BasketSnapshot]) -> PlanOutput:
+        new_left = self._pull(snapshots.get(self.left_basket), self.left_key)
+        new_right = self._pull(
+            snapshots.get(self.right_basket), self.right_key
+        )
+        rows: List[Tuple[Any, float, float]] = []
+        # New left tuples probe the right buffer *before* new rights are
+        # inserted, and new rights probe the left buffer *after* new lefts
+        # were: new-left x old-right pairs come from the first loop,
+        # (old+new)-left x new-right pairs from the second — each pair is
+        # found exactly once.
+        for key, stamp in new_left:
+            self.probes += 1
+            for rstamp in self._right.get(key, ()):
+                if abs(stamp - rstamp) <= self.window:
+                    rows.append((key, stamp, rstamp))
+            self._left.setdefault(key, []).append(stamp)
+        for key, stamp in new_right:
+            self.probes += 1
+            for lstamp in self._left.get(key, ()):
+                if abs(stamp - lstamp) <= self.window:
+                    rows.append((key, lstamp, stamp))
+            self._right.setdefault(key, []).append(stamp)
+        self._expire()
+        self.pairs_emitted += len(rows)
+        if not rows:
+            return PlanOutput()
+        keys, lts, rts = zip(*rows)
+        key_atom = self._key_atom
+        result = ResultSet(
+            ["key", "left_time", "right_time"],
+            [
+                bat_from_values(key_atom, list(keys)),
+                bat_from_values(AtomType.TIMESTAMP, list(lts)),
+                bat_from_values(AtomType.TIMESTAMP, list(rts)),
+            ],
+        )
+        return PlanOutput(results={self.output_basket: result})
+
+    _key_atom = AtomType.LNG
+
+    def _pull(self, snap: Optional[BasketSnapshot], key_col: str):
+        if snap is None or snap.count == 0:
+            return []
+        keys = snap.column(key_col).python_list()
+        times = snap.column(TIME_COLUMN).tail.astype(np.float64)
+        if len(times):
+            self._watermark = max(self._watermark, float(times.max()))
+        if snap.column(key_col).atom is AtomType.STR:
+            self._key_atom = AtomType.STR
+        elif snap.column(key_col).atom is AtomType.DBL:
+            self._key_atom = AtomType.DBL
+        return [
+            (k, float(t)) for k, t in zip(keys, times) if k is not None
+        ]
+
+    def _expire(self) -> None:
+        horizon = self._watermark - self.window
+        for buf in (self._left, self._right):
+            dead = []
+            for key, stamps in buf.items():
+                stamps[:] = [s for s in stamps if s >= horizon]
+                if not stamps:
+                    dead.append(key)
+            for key in dead:
+                del buf[key]
+
+    def describe(self) -> str:
+        return (
+            f"window-join({self.left_basket}.{self.left_key} = "
+            f"{self.right_basket}.{self.right_key}, w={self.window}s)"
+        )

@@ -1,0 +1,226 @@
+"""Aggregate primitives: scalar and grouped SUM/COUNT/AVG/MIN/MAX.
+
+Scalar aggregates reduce a whole BAT (optionally candidate-restricted) to a
+python value; grouped aggregates (``aggr.subsum`` etc.) reduce per group id
+and return a BAT of one value per group.
+
+SQL NULL semantics throughout: NULL inputs are skipped; an empty input
+yields NULL for SUM/AVG/MIN/MAX and 0 for COUNT.  ``count_star`` counts
+tuples regardless of NULLs.
+
+These primitives double as the *summary combinators* of the basic-window
+model: :class:`AggregateState` is a mergeable summary (count/sum/min/max)
+that the incremental window executor keeps per basic window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..errors import KernelError, TypeMismatchError
+from .bat import BAT
+from .candidates import resolve_positions
+from .types import AtomType, nil_value, numpy_dtype
+
+__all__ = [
+    "scalar_aggregate",
+    "grouped_aggregate",
+    "AggregateState",
+    "AGGREGATE_NAMES",
+]
+
+AGGREGATE_NAMES = ("sum", "count", "count_star", "avg", "min", "max")
+
+
+def _valid_tail(bat: BAT, candidates: Optional[np.ndarray]):
+    positions = resolve_positions(bat, candidates)
+    tail = bat.tail[positions]
+    nil = bat.nil_positions()[positions]
+    return tail, nil
+
+
+def scalar_aggregate(
+    name: str, bat: BAT, candidates: Optional[np.ndarray] = None
+) -> Any:
+    """Reduce the BAT with aggregate ``name``; returns a python value."""
+    if name not in AGGREGATE_NAMES:
+        raise KernelError(f"unknown aggregate {name!r}")
+    tail, nil = _valid_tail(bat, candidates)
+    if name == "count_star":
+        return int(len(tail))
+    valid = tail[~nil]
+    if name == "count":
+        return int(len(valid))
+    if len(valid) == 0:
+        return None
+    if bat.atom is AtomType.STR:
+        if name == "min":
+            return min(valid)
+        if name == "max":
+            return max(valid)
+        raise TypeMismatchError(f"aggregate {name} undefined on str")
+    values = valid.astype(np.float64)
+    if name == "sum":
+        total = float(values.sum())
+        return int(total) if bat.atom.is_integral else total
+    if name == "avg":
+        return float(values.mean())
+    if name == "min":
+        res = values.min()
+        return int(res) if bat.atom.is_integral else float(res)
+    if name == "max":
+        res = values.max()
+        return int(res) if bat.atom.is_integral else float(res)
+    raise KernelError(f"unhandled aggregate {name!r}")  # pragma: no cover
+
+
+def grouped_aggregate(
+    name: str,
+    bat: BAT,
+    groups: BAT,
+    ngroups: int,
+    candidates: Optional[np.ndarray] = None,
+) -> BAT:
+    """Per-group reduction; returns a BAT of ``ngroups`` values.
+
+    ``groups`` is the aligned group-id BAT produced by
+    :func:`repro.kernel.group.group` on the same candidate set.
+    """
+    if name not in AGGREGATE_NAMES:
+        raise KernelError(f"unknown aggregate {name!r}")
+    tail, nil = _valid_tail(bat, candidates)
+    gids = groups.tail
+    if len(gids) != len(tail):
+        raise KernelError("groups BAT not aligned with aggregate input")
+    if name == "count_star":
+        counts = np.bincount(gids, minlength=ngroups).astype(np.int64)
+        out = BAT(AtomType.LNG, capacity=max(ngroups, 1))
+        out.append_array(counts)
+        return out
+    valid_mask = ~nil
+    if name == "count":
+        counts = np.bincount(
+            gids[valid_mask], minlength=ngroups
+        ).astype(np.int64)
+        out = BAT(AtomType.LNG, capacity=max(ngroups, 1))
+        out.append_array(counts)
+        return out
+    if bat.atom is AtomType.STR:
+        return _grouped_str(name, tail, valid_mask, gids, ngroups)
+    values = tail.astype(np.float64)
+    counts = np.bincount(gids[valid_mask], minlength=ngroups)
+    if name in ("sum", "avg"):
+        sums = np.bincount(
+            gids[valid_mask], weights=values[valid_mask], minlength=ngroups
+        )
+        if name == "avg":
+            with np.errstate(invalid="ignore", divide="ignore"):
+                res = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+            out = BAT(AtomType.DBL, capacity=max(ngroups, 1))
+            out.append_array(res)
+            return out
+        return _store_numeric(bat.atom, sums, counts)
+    if name in ("min", "max"):
+        fill = np.inf if name == "min" else -np.inf
+        res = np.full(ngroups, fill, dtype=np.float64)
+        fn = np.minimum if name == "min" else np.maximum
+        fn.at(res, gids[valid_mask], values[valid_mask])
+        return _store_numeric(bat.atom, res, counts)
+    raise KernelError(f"unhandled aggregate {name!r}")  # pragma: no cover
+
+
+def _store_numeric(atom: AtomType, values: np.ndarray, counts: np.ndarray) -> BAT:
+    """Store per-group numeric results, NULLing empty groups."""
+    empty = counts == 0
+    if atom.is_integral:
+        out = BAT(AtomType.LNG, capacity=max(len(values), 1))
+        stored = np.where(empty, 0, values).astype(np.int64)
+        stored[empty] = nil_value(AtomType.LNG)
+        out.append_array(stored)
+    else:
+        out = BAT(AtomType.DBL, capacity=max(len(values), 1))
+        stored = values.astype(np.float64)
+        stored[empty] = np.nan
+        out.append_array(stored)
+    return out
+
+
+def _grouped_str(name, tail, valid_mask, gids, ngroups) -> BAT:
+    if name not in ("min", "max"):
+        raise TypeMismatchError(f"aggregate {name} undefined on str")
+    best = [None] * ngroups
+    for idx in np.flatnonzero(valid_mask):
+        gid = gids[idx]
+        val = tail[idx]
+        cur = best[gid]
+        if cur is None or (val < cur if name == "min" else val > cur):
+            best[gid] = val
+    out = BAT(AtomType.STR, capacity=max(ngroups, 1))
+    out.append_many(best)
+    return out
+
+
+@dataclass
+class AggregateState:
+    """A mergeable aggregate summary — the basic-window ``bw`` summary.
+
+    Holds enough state to answer SUM/COUNT/AVG/MIN/MAX without re-reading
+    the covered tuples, and to merge with neighbouring summaries in O(1).
+    """
+
+    count: int = 0
+    total: float = 0.0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def add_value(self, value: float) -> None:
+        """Fold one non-NULL value into the summary."""
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def add_array(self, values: np.ndarray) -> None:
+        """Fold an array of non-NULL values into the summary."""
+        if len(values) == 0:
+            return
+        self.count += int(len(values))
+        self.total += float(values.sum())
+        lo, hi = float(values.min()), float(values.max())
+        if self.minimum is None or lo < self.minimum:
+            self.minimum = lo
+        if self.maximum is None or hi > self.maximum:
+            self.maximum = hi
+
+    def merge(self, other: "AggregateState") -> "AggregateState":
+        """Return the summary of the union of the two covered ranges."""
+        merged = AggregateState(
+            count=self.count + other.count,
+            total=self.total + other.total,
+        )
+        mins = [m for m in (self.minimum, other.minimum) if m is not None]
+        maxs = [m for m in (self.maximum, other.maximum) if m is not None]
+        merged.minimum = min(mins) if mins else None
+        merged.maximum = max(maxs) if maxs else None
+        return merged
+
+    def result(self, name: str) -> Any:
+        """Answer aggregate ``name`` from the summary (SQL NULL rules)."""
+        if name in ("count", "count_star"):
+            return self.count
+        if self.count == 0:
+            return None
+        if name == "sum":
+            return self.total
+        if name == "avg":
+            return self.total / self.count
+        if name == "min":
+            return self.minimum
+        if name == "max":
+            return self.maximum
+        raise KernelError(f"unknown aggregate {name!r}")

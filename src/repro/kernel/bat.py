@@ -1,0 +1,246 @@
+"""Binary Association Tables (BATs) — the kernel's only collection type.
+
+A BAT is a two-column structure ``(head, tail)``.  As in modern MonetDB the
+head is *virtual*: a dense, ascending ``oid`` sequence starting at
+``hseqbase`` that is never materialized.  The tail is a typed array.  A
+relational table of ``k`` attributes is ``k`` BATs that share the same head
+sequence — the *tuple-order alignment* the paper relies on for cheap tuple
+reconstruction.
+
+BATs are append-only at this level; deletion happens by creating new BATs
+(which is exactly how baskets "consume" tuples: the basket swaps in a new,
+emptied BAT generation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AlignmentError, KernelError, TypeMismatchError
+from .types import AtomType, coerce_scalar, nil_mask, numpy_dtype, python_value
+
+__all__ = ["BAT", "bat_from_values", "empty_bat", "check_aligned"]
+
+_INITIAL_CAPACITY = 16
+
+
+class BAT:
+    """A single column: virtual dense head + typed tail.
+
+    Parameters
+    ----------
+    atom:
+        The tail's atom type.
+    hseqbase:
+        First head oid.  ``head[i] == hseqbase + i``.
+
+    The tail grows amortized-O(1) via a capacity-doubling backing array, so
+    receptors can append tuple batches cheaply.
+    """
+
+    __slots__ = ("atom", "hseqbase", "_data", "_count")
+
+    def __init__(self, atom: AtomType, hseqbase: int = 0, capacity: int = 0):
+        self.atom = atom
+        self.hseqbase = int(hseqbase)
+        self._data = np.empty(
+            max(capacity, _INITIAL_CAPACITY), dtype=numpy_dtype(atom)
+        )
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def count(self) -> int:
+        """Number of tuples in the BAT."""
+        return self._count
+
+    @property
+    def tail(self) -> np.ndarray:
+        """A view of the valid portion of the tail array (do not mutate)."""
+        return self._data[: self._count]
+
+    @property
+    def hseq_end(self) -> int:
+        """One past the last head oid."""
+        return self.hseqbase + self._count
+
+    def head_oids(self) -> np.ndarray:
+        """Materialize the (normally virtual) head as an oid array."""
+        return np.arange(
+            self.hseqbase, self.hseqbase + self._count, dtype=np.int64
+        )
+
+    def value(self, position: int) -> Any:
+        """Tail value at *position* (0-based, not oid)."""
+        if not 0 <= position < self._count:
+            raise KernelError(
+                f"position {position} out of range [0, {self._count})"
+            )
+        return self._data[position]
+
+    def value_at_oid(self, oid: int) -> Any:
+        """Tail value for head oid ``oid``."""
+        return self.value(int(oid) - self.hseqbase)
+
+    def python_list(self) -> List[Any]:
+        """Tail as plain python values (NULLs become ``None``)."""
+        return [python_value(self.atom, v) for v in self.tail]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.tail)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preview = ", ".join(repr(v) for v in self.tail[:5])
+        suffix = ", ..." if self._count > 5 else ""
+        return (
+            f"BAT({self.atom.value}, hseqbase={self.hseqbase}, "
+            f"count={self._count}, [{preview}{suffix}])"
+        )
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _reserve(self, extra: int) -> None:
+        needed = self._count + extra
+        if needed <= len(self._data):
+            return
+        new_cap = max(len(self._data) * 2, needed)
+        grown = np.empty(new_cap, dtype=self._data.dtype)
+        grown[: self._count] = self._data[: self._count]
+        self._data = grown
+
+    def append(self, value: Any) -> None:
+        """Append one (coerced) value to the tail."""
+        self._reserve(1)
+        self._data[self._count] = coerce_scalar(self.atom, value)
+        self._count += 1
+
+    def append_many(self, values: Iterable[Any]) -> None:
+        """Append an iterable of python values, coercing each.
+
+        Fast path: for non-STR/BOOL atoms, clean batches (no ``None``)
+        are converted with one vectorized ``np.asarray`` call; anything
+        that fails conversion falls back to per-value coercion.  BOOL is
+        excluded because its domain check (only -1/0/1) would be skipped.
+        """
+        values = list(values)
+        if not values:
+            return
+        if self.atom not in (AtomType.STR, AtomType.BOOL):
+            try:
+                self.append_array(
+                    np.asarray(values, dtype=self._data.dtype)
+                )
+                return
+            except (TypeError, ValueError, OverflowError):
+                pass
+        self._reserve(len(values))
+        for value in values:
+            self._data[self._count] = coerce_scalar(self.atom, value)
+            self._count += 1
+
+    def append_array(self, array: np.ndarray) -> None:
+        """Append a numpy array already in storage representation."""
+        array = np.asarray(array)
+        if array.dtype != self._data.dtype:
+            try:
+                array = array.astype(self._data.dtype)
+            except (TypeError, ValueError) as exc:
+                raise TypeMismatchError(
+                    f"cannot append dtype {array.dtype} to {self.atom.value} BAT"
+                ) from exc
+        self._reserve(len(array))
+        self._data[self._count : self._count + len(array)] = array
+        self._count += len(array)
+
+    def append_bat(self, other: "BAT") -> None:
+        """Append another BAT's tail (types must match)."""
+        if other.atom is not self.atom:
+            raise TypeMismatchError(
+                f"cannot append {other.atom.value} BAT to {self.atom.value} BAT"
+            )
+        self.append_array(other.tail)
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def slice(self, start: int, stop: int, hseqbase: Optional[int] = None) -> "BAT":
+        """New BAT holding tail positions ``[start, stop)``.
+
+        The new head restarts at ``hseqbase`` (default: ``self.hseqbase +
+        start``, preserving global oids).
+        """
+        start = max(0, start)
+        stop = min(self._count, stop)
+        if hseqbase is None:
+            hseqbase = self.hseqbase + start
+        out = BAT(self.atom, hseqbase=hseqbase, capacity=max(stop - start, 1))
+        if stop > start:
+            out.append_array(self._data[start:stop])
+        return out
+
+    def take_positions(self, positions: np.ndarray, hseqbase: int = 0) -> "BAT":
+        """New BAT with the tail values at the given 0-based positions."""
+        out = BAT(self.atom, hseqbase=hseqbase, capacity=max(len(positions), 1))
+        if len(positions):
+            out.append_array(self.tail[positions])
+        return out
+
+    def take_oids(self, oids: np.ndarray, hseqbase: int = 0) -> "BAT":
+        """New BAT with tail values for the given head oids (fetch join)."""
+        oids = np.asarray(oids, dtype=np.int64)
+        if len(oids):
+            positions = oids - self.hseqbase
+            if positions.min() < 0 or positions.max() >= self._count:
+                raise KernelError("oid out of BAT head range")
+            return self.take_positions(positions, hseqbase=hseqbase)
+        return BAT(self.atom, hseqbase=hseqbase)
+
+    def copy(self) -> "BAT":
+        """Deep copy (same head sequence)."""
+        out = BAT(self.atom, hseqbase=self.hseqbase, capacity=max(self._count, 1))
+        out.append_array(self.tail)
+        return out
+
+    def nil_positions(self) -> np.ndarray:
+        """Boolean mask of NULL tail positions."""
+        return nil_mask(self.atom, self.tail)
+
+
+def bat_from_values(
+    atom: AtomType, values: Sequence[Any], hseqbase: int = 0
+) -> BAT:
+    """Build a BAT from python values (coercing, NULLs allowed)."""
+    out = BAT(atom, hseqbase=hseqbase, capacity=max(len(values), 1))
+    out.append_many(values)
+    return out
+
+
+def empty_bat(atom: AtomType, hseqbase: int = 0) -> BAT:
+    """An empty BAT of the given type."""
+    return BAT(atom, hseqbase=hseqbase)
+
+
+def check_aligned(*bats: BAT) -> None:
+    """Assert that all BATs share head sequence (same base and count).
+
+    Tuple-order alignment is the invariant that makes column projection a
+    positional lookup; operators that combine columns of one table call this
+    before trusting positions.
+    """
+    if not bats:
+        return
+    base, count = bats[0].hseqbase, bats[0].count
+    for bat in bats[1:]:
+        if bat.hseqbase != base or bat.count != count:
+            raise AlignmentError(
+                "BATs are not tuple-order aligned: "
+                f"({base},{count}) vs ({bat.hseqbase},{bat.count})"
+            )

@@ -1,0 +1,340 @@
+"""``batcalc``-style columnar arithmetic, comparison and boolean algebra.
+
+All functions operate element-wise on whole BATs (or a BAT and a scalar) and
+return new BATs aligned with the left input.  NULL propagates through
+arithmetic; three-valued logic is used for AND/OR/NOT (NULL = unknown).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from ..errors import KernelError, TypeMismatchError
+from .bat import BAT, check_aligned
+from .types import (
+    AtomType,
+    BOOL_NIL,
+    coerce_scalar,
+    common_type,
+    nil_mask,
+    nil_value,
+    numpy_dtype,
+)
+
+__all__ = [
+    "calc_binary",
+    "calc_compare",
+    "calc_and",
+    "calc_or",
+    "calc_not",
+    "calc_isnil",
+    "calc_ifthenelse",
+    "calc_neg",
+    "const_bat",
+]
+
+Operand = Union[BAT, int, float, str, None]
+
+
+def _broadcast(left: Operand, right: Operand):
+    """Return (atom_l, tail_l, atom_r, tail_r, hseqbase, count)."""
+    if isinstance(left, BAT) and isinstance(right, BAT):
+        check_aligned(left, right)
+        return (
+            left.atom,
+            left.tail,
+            right.atom,
+            right.tail,
+            left.hseqbase,
+            left.count,
+        )
+    if isinstance(left, BAT):
+        atom_r = _scalar_atom(right)
+        return (
+            left.atom,
+            left.tail,
+            atom_r,
+            coerce_scalar(atom_r, right),
+            left.hseqbase,
+            left.count,
+        )
+    if isinstance(right, BAT):
+        atom_l = _scalar_atom(left)
+        return (
+            atom_l,
+            coerce_scalar(atom_l, left),
+            right.atom,
+            right.tail,
+            right.hseqbase,
+            right.count,
+        )
+    raise KernelError("at least one operand of a batcalc op must be a BAT")
+
+
+def _scalar_atom(value: Any) -> AtomType:
+    if value is None:
+        return AtomType.DBL
+    if isinstance(value, bool):
+        return AtomType.BOOL
+    if isinstance(value, (int, np.integer)):
+        return AtomType.LNG
+    if isinstance(value, (float, np.floating)):
+        return AtomType.DBL
+    if isinstance(value, str):
+        return AtomType.STR
+    raise TypeMismatchError(f"unsupported scalar {value!r}")
+
+
+def _operand_nils(atom: AtomType, values) -> np.ndarray:
+    if isinstance(values, np.ndarray):
+        return nil_mask(atom, values)
+    # scalar: broadcast nil-ness
+    from .types import is_nil
+
+    return np.bool_(is_nil(atom, values))
+
+
+def _as_float(atom: AtomType, values):
+    if isinstance(values, np.ndarray):
+        if atom is AtomType.STR:
+            raise TypeMismatchError("arithmetic on str column")
+        return values.astype(np.float64)
+    return float(values)
+
+
+def calc_binary(op: str, left: Operand, right: Operand) -> BAT:
+    """Element-wise arithmetic: ``op`` ∈ ``+ - * / %``.
+
+    The result type follows the widening lattice; division always yields
+    ``dbl``.  Division/modulo by zero yields NULL for the offending rows
+    (SQL would raise; NULL keeps streams flowing and is documented behavior).
+    """
+    atom_l, vals_l, atom_r, vals_r, hseqbase, count = _broadcast(left, right)
+    if op == "+" and atom_l is AtomType.STR and atom_r is AtomType.STR:
+        return _concat_str(vals_l, vals_r, hseqbase, count)
+    out_atom = common_type(atom_l, atom_r)
+    if op == "/":
+        out_atom = AtomType.DBL
+    nils = _operand_nils(atom_l, vals_l) | _operand_nils(atom_r, vals_r)
+    lf = _as_float(atom_l, vals_l)
+    rf = _as_float(atom_r, vals_r)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        if op == "+":
+            res = lf + rf
+        elif op == "-":
+            res = lf - rf
+        elif op == "*":
+            res = lf * rf
+        elif op == "/":
+            res = np.where(rf == 0, np.nan, lf) / np.where(rf == 0, 1, rf)
+            nils = nils | (rf == 0)
+        elif op == "%":
+            res = np.mod(lf, np.where(rf == 0, 1, rf))
+            nils = nils | (rf == 0)
+        else:
+            raise KernelError(f"unknown arithmetic operator {op!r}")
+    res = np.broadcast_to(res, (count,)).copy()
+    nils = np.broadcast_to(nils, (count,))
+    out = BAT(out_atom, hseqbase=hseqbase, capacity=max(count, 1))
+    if out_atom in (AtomType.DBL, AtomType.TIMESTAMP):
+        res[nils] = np.nan
+        out.append_array(res)
+    else:
+        stored = np.where(nils, 0.0, res).astype(numpy_dtype(out_atom))
+        stored[nils] = nil_value(out_atom)
+        out.append_array(stored)
+    return out
+
+
+def _concat_str(vals_l, vals_r, hseqbase: int, count: int) -> BAT:
+    left_seq = vals_l if isinstance(vals_l, np.ndarray) else [vals_l] * count
+    right_seq = vals_r if isinstance(vals_r, np.ndarray) else [vals_r] * count
+    out = BAT(AtomType.STR, hseqbase=hseqbase, capacity=max(count, 1))
+    out.append_many(
+        None if (a is None or b is None) else a + b
+        for a, b in zip(left_seq, right_seq)
+    )
+    return out
+
+
+def calc_compare(op: str, left: Operand, right: Operand) -> BAT:
+    """Element-wise comparison producing a ``bool`` BAT (NULL-aware).
+
+    Any comparison involving NULL yields NULL (three-valued logic).
+    """
+    atom_l, vals_l, atom_r, vals_r, hseqbase, count = _broadcast(left, right)
+    nils = _operand_nils(atom_l, vals_l) | _operand_nils(atom_r, vals_r)
+    if atom_l is AtomType.STR or atom_r is AtomType.STR:
+        if atom_l is not atom_r:
+            raise TypeMismatchError("cannot compare str with non-str")
+        left_seq = (
+            vals_l if isinstance(vals_l, np.ndarray) else [vals_l] * count
+        )
+        right_seq = (
+            vals_r if isinstance(vals_r, np.ndarray) else [vals_r] * count
+        )
+        import operator as _op
+
+        fn = {
+            "==": _op.eq,
+            "!=": _op.ne,
+            "<": _op.lt,
+            "<=": _op.le,
+            ">": _op.gt,
+            ">=": _op.ge,
+        }[op]
+        raw = np.fromiter(
+            (
+                False if (a is None or b is None) else fn(a, b)
+                for a, b in zip(left_seq, right_seq)
+            ),
+            bool,
+            count=count,
+        )
+    else:
+        lf = _as_float(atom_l, vals_l)
+        rf = _as_float(atom_r, vals_r)
+        with np.errstate(invalid="ignore"):
+            if op == "==":
+                raw = lf == rf
+            elif op == "!=":
+                raw = lf != rf
+            elif op == "<":
+                raw = lf < rf
+            elif op == "<=":
+                raw = lf <= rf
+            elif op == ">":
+                raw = lf > rf
+            elif op == ">=":
+                raw = lf >= rf
+            else:
+                raise KernelError(f"unknown comparison operator {op!r}")
+        raw = np.broadcast_to(raw, (count,))
+    nils = np.broadcast_to(nils, (count,))
+    stored = raw.astype(np.int8).copy()
+    stored[nils] = BOOL_NIL
+    out = BAT(AtomType.BOOL, hseqbase=hseqbase, capacity=max(count, 1))
+    out.append_array(stored)
+    return out
+
+
+def _bool_tail(operand: Operand, reference: Optional[BAT]):
+    if isinstance(operand, BAT):
+        if operand.atom is not AtomType.BOOL:
+            raise TypeMismatchError("boolean algebra requires bool BATs")
+        return operand.tail, operand.hseqbase, operand.count
+    if reference is None:
+        raise KernelError("boolean op needs at least one BAT operand")
+    value = BOOL_NIL if operand is None else np.int8(1 if operand else 0)
+    return value, reference.hseqbase, reference.count
+
+
+def calc_and(left: Operand, right: Operand) -> BAT:
+    """Three-valued AND over bool BATs."""
+    ref = left if isinstance(left, BAT) else right
+    lt, hseqbase, count = _bool_tail(left, ref if isinstance(ref, BAT) else None)
+    rt, _, _ = _bool_tail(right, ref if isinstance(ref, BAT) else None)
+    if isinstance(left, BAT) and isinstance(right, BAT):
+        check_aligned(left, right)
+    lt = np.broadcast_to(lt, (count,))
+    rt = np.broadcast_to(rt, (count,))
+    res = np.full(count, BOOL_NIL, dtype=np.int8)
+    res[(lt == 0) | (rt == 0)] = 0
+    res[(lt == 1) & (rt == 1)] = 1
+    out = BAT(AtomType.BOOL, hseqbase=hseqbase, capacity=max(count, 1))
+    out.append_array(res)
+    return out
+
+
+def calc_or(left: Operand, right: Operand) -> BAT:
+    """Three-valued OR over bool BATs."""
+    ref = left if isinstance(left, BAT) else right
+    lt, hseqbase, count = _bool_tail(left, ref if isinstance(ref, BAT) else None)
+    rt, _, _ = _bool_tail(right, ref if isinstance(ref, BAT) else None)
+    if isinstance(left, BAT) and isinstance(right, BAT):
+        check_aligned(left, right)
+    lt = np.broadcast_to(lt, (count,))
+    rt = np.broadcast_to(rt, (count,))
+    res = np.full(count, BOOL_NIL, dtype=np.int8)
+    res[(lt == 1) | (rt == 1)] = 1
+    res[(lt == 0) & (rt == 0)] = 0
+    out = BAT(AtomType.BOOL, hseqbase=hseqbase, capacity=max(count, 1))
+    out.append_array(res)
+    return out
+
+
+def calc_not(operand: BAT) -> BAT:
+    """Three-valued NOT over a bool BAT."""
+    if operand.atom is not AtomType.BOOL:
+        raise TypeMismatchError("NOT requires a bool BAT")
+    tail = operand.tail
+    res = np.full(operand.count, BOOL_NIL, dtype=np.int8)
+    res[tail == 0] = 1
+    res[tail == 1] = 0
+    out = BAT(AtomType.BOOL, hseqbase=operand.hseqbase, capacity=max(operand.count, 1))
+    out.append_array(res)
+    return out
+
+
+def calc_isnil(operand: BAT) -> BAT:
+    """Bool BAT: 1 where the input tail is NULL."""
+    mask = operand.nil_positions()
+    out = BAT(AtomType.BOOL, hseqbase=operand.hseqbase, capacity=max(operand.count, 1))
+    out.append_array(mask.astype(np.int8))
+    return out
+
+
+def calc_neg(operand: BAT) -> BAT:
+    """Arithmetic negation (NULL-preserving)."""
+    return calc_binary("-", const_bat(0, operand), operand)
+
+
+def calc_ifthenelse(cond: BAT, then_val: Operand, else_val: Operand) -> BAT:
+    """Element-wise ``CASE WHEN cond THEN x ELSE y END``.
+
+    NULL conditions select the else branch (SQL: non-true is false-like).
+    """
+    if cond.atom is not AtomType.BOOL:
+        raise TypeMismatchError("ifthenelse requires a bool condition BAT")
+    mask = cond.tail == 1
+    then_bat = (
+        then_val
+        if isinstance(then_val, BAT)
+        else const_bat(then_val, cond)
+    )
+    else_bat = (
+        else_val
+        if isinstance(else_val, BAT)
+        else const_bat(else_val, cond)
+    )
+    check_aligned(cond, then_bat, else_bat)
+    if then_bat.atom is not else_bat.atom:
+        out_atom = common_type(then_bat.atom, else_bat.atom)
+    else:
+        out_atom = then_bat.atom
+    out = BAT(out_atom, hseqbase=cond.hseqbase, capacity=max(cond.count, 1))
+    if out_atom is AtomType.STR:
+        out.append_many(
+            t if m else e
+            for m, t, e in zip(mask, then_bat.tail, else_bat.tail)
+        )
+    else:
+        tv = then_bat.tail.astype(numpy_dtype(out_atom))
+        ev = else_bat.tail.astype(numpy_dtype(out_atom))
+        out.append_array(np.where(mask, tv, ev))
+    return out
+
+
+def const_bat(value: Any, like: BAT, atom: Optional[AtomType] = None) -> BAT:
+    """A constant column aligned with ``like`` (scalar broadcast helper)."""
+    if atom is None:
+        atom = _scalar_atom(value)
+    out = BAT(atom, hseqbase=like.hseqbase, capacity=max(like.count, 1))
+    stored = coerce_scalar(atom, value)
+    if atom is AtomType.STR:
+        out.append_many([stored] * like.count)
+    else:
+        out.append_array(np.full(like.count, stored, dtype=numpy_dtype(atom)))
+    return out

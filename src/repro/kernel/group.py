@@ -1,0 +1,103 @@
+"""Grouping primitives (``group.group`` / ``group.subgroup``).
+
+Grouping maps each tuple to a dense group id.  The result triple mirrors
+MonetDB:
+
+``groups``
+    an ``oid`` BAT aligned with the input, tail = group id of each tuple;
+``extents``
+    for each group id, the position of its first/representative tuple;
+``ngroups``
+    number of distinct groups.
+
+Multi-column grouping refines an existing grouping with
+:func:`subgroup`, exactly how the MAL plans chain ``group.subgroup`` calls.
+NULL is a regular group key (SQL GROUP BY semantics: NULLs group together).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .bat import BAT
+from .candidates import resolve_positions
+from .types import AtomType
+
+__all__ = ["group", "subgroup", "distinct_positions"]
+
+
+def _group_keys(bat: BAT, positions: np.ndarray):
+    tail = bat.tail[positions]
+    if bat.atom is AtomType.STR:
+        return [("\0NULL\0" if v is None else v) for v in tail]
+    nil = bat.nil_positions()[positions]
+    # Use a float view so NULL sentinels hash consistently; replace NaN.
+    keys = tail.astype(object)
+    for idx in np.flatnonzero(nil):
+        keys[idx] = "\0NULL\0"
+    return list(keys)
+
+
+def group(
+    bat: BAT, candidates: Optional[np.ndarray] = None
+) -> Tuple[BAT, np.ndarray, int]:
+    """Group the (candidate-restricted) tuples of ``bat`` by tail value.
+
+    Returns ``(groups, extents, ngroups)`` where ``groups`` is an OID BAT
+    aligned with the candidate order and ``extents[g]`` is the 0-based
+    candidate-order position of group ``g``'s first tuple.
+    """
+    positions = resolve_positions(bat, candidates)
+    keys = _group_keys(bat, positions)
+    mapping = {}
+    gids = np.empty(len(positions), dtype=np.int64)
+    extents = []
+    for i, key in enumerate(keys):
+        gid = mapping.get(key)
+        if gid is None:
+            gid = len(mapping)
+            mapping[key] = gid
+            extents.append(i)
+        gids[i] = gid
+    groups = BAT(AtomType.OID, hseqbase=0, capacity=max(len(gids), 1))
+    groups.append_array(gids)
+    return groups, np.asarray(extents, dtype=np.int64), len(mapping)
+
+
+def subgroup(
+    bat: BAT,
+    prev_groups: BAT,
+    candidates: Optional[np.ndarray] = None,
+) -> Tuple[BAT, np.ndarray, int]:
+    """Refine ``prev_groups`` by additionally grouping on ``bat``'s tail.
+
+    ``prev_groups`` must be aligned with the candidate order (it is the
+    ``groups`` output of a previous :func:`group`/:func:`subgroup`).
+    """
+    positions = resolve_positions(bat, candidates)
+    keys = _group_keys(bat, positions)
+    prev = prev_groups.tail
+    mapping = {}
+    gids = np.empty(len(positions), dtype=np.int64)
+    extents = []
+    for i, key in enumerate(keys):
+        composite = (int(prev[i]), key)
+        gid = mapping.get(composite)
+        if gid is None:
+            gid = len(mapping)
+            mapping[composite] = gid
+            extents.append(i)
+        gids[i] = gid
+    groups = BAT(AtomType.OID, hseqbase=0, capacity=max(len(gids), 1))
+    groups.append_array(gids)
+    return groups, np.asarray(extents, dtype=np.int64), len(mapping)
+
+
+def distinct_positions(
+    bat: BAT, candidates: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Candidate-order positions of the first occurrence of each value."""
+    _, extents, _ = group(bat, candidates)
+    return extents

@@ -1,0 +1,181 @@
+"""MAL — the kernel's assembly language.
+
+MonetDB executes plans written in MAL, a virtual-machine assembly where each
+instruction wraps one optimized relational primitive.  We reproduce the same
+shape: a :class:`Program` is a straight-line SSA-ish list of
+:class:`Instr` uctions, each calling ``module.function`` on variables and
+constants and binding (possibly several) result variables.
+
+Control flow (Algorithm 1's ``while true`` / ``suspend``) deliberately lives
+*outside* MAL, in the factory shell (:mod:`repro.core.factory`): the paper's
+factories are "ordinary functions whose execution state is saved between
+calls", and the saved state here is the basket read-cursor plus the python
+generator's frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import MalError
+from .bat import BAT
+from .types import AtomType, python_value
+
+__all__ = ["Var", "Const", "Instr", "Program", "ResultSet"]
+
+
+@dataclass(frozen=True)
+class Var:
+    """Reference to a MAL variable by name."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal argument embedded in an instruction."""
+
+    value: Any
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self.value)
+
+
+Arg = Union[Var, Const]
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One MAL instruction: ``results := module.fn(args)``."""
+
+    results: Tuple[str, ...]
+    module: str
+    fn: str
+    args: Tuple[Arg, ...]
+
+    def render(self) -> str:
+        """Human-readable MAL-like text (used by EXPLAIN and tests)."""
+        lhs = ", ".join(self.results)
+        rhs = ", ".join(repr(a) for a in self.args)
+        head = f"{lhs} := " if self.results else ""
+        return f"{head}{self.module}.{self.fn}({rhs})"
+
+
+class Program:
+    """A straight-line MAL program plus symbolic metadata.
+
+    ``inputs`` names the free variables the caller must provide (for
+    factories these are bound baskets); ``output`` names the variable whose
+    value is the program's result (usually a :class:`ResultSet`).
+    """
+
+    def __init__(
+        self,
+        name: str = "main",
+        inputs: Optional[Sequence[str]] = None,
+        output: Optional[str] = None,
+    ):
+        self.name = name
+        self.instructions: List[Instr] = []
+        self.inputs: List[str] = list(inputs or [])
+        self.output = output
+        self._counter = 0
+
+    def fresh(self, prefix: str = "v") -> str:
+        """Allocate a fresh variable name."""
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def emit(
+        self,
+        module: str,
+        fn: str,
+        args: Sequence[Arg],
+        results: Union[int, Sequence[str]] = 1,
+        prefix: str = "v",
+    ) -> Union[str, Tuple[str, ...]]:
+        """Append an instruction, auto-naming results.
+
+        ``results`` is either a count (fresh names are allocated) or explicit
+        names.  Returns the single name or the tuple of names.
+        """
+        if isinstance(results, int):
+            names = tuple(self.fresh(prefix) for _ in range(results))
+        else:
+            names = tuple(results)
+        self.instructions.append(Instr(names, module, fn, tuple(args)))
+        if len(names) == 1:
+            return names[0]
+        return names
+
+    def render(self) -> str:
+        """The whole program as MAL-like text."""
+        header = f"function {self.name}({', '.join(self.inputs)}):"
+        body = "\n".join("    " + ins.render() for ins in self.instructions)
+        footer = f"    return {self.output};" if self.output else ""
+        return "\n".join(x for x in (header, body, footer) if x)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def validate(self) -> None:
+        """Check SSA-style def-before-use over the instruction list."""
+        defined = set(self.inputs)
+        for ins in self.instructions:
+            for arg in ins.args:
+                if isinstance(arg, Var) and arg.name not in defined:
+                    raise MalError(
+                        f"variable {arg.name!r} used before definition in "
+                        f"{ins.render()}"
+                    )
+            defined.update(ins.results)
+        if self.output and self.output not in defined:
+            raise MalError(f"output variable {self.output!r} never defined")
+
+
+class ResultSet:
+    """A named, aligned collection of result columns.
+
+    The shape every query evaluation produces: column names plus BATs of
+    equal length.  Also what factories append to output baskets and what
+    emitters serialize to clients.
+    """
+
+    def __init__(self, names: Sequence[str], bats: Sequence[BAT]):
+        if len(names) != len(bats):
+            raise MalError("result set names/columns arity mismatch")
+        counts = {b.count for b in bats}
+        if len(counts) > 1:
+            raise MalError(f"result set columns differ in length: {counts}")
+        self.names = list(names)
+        self.bats = list(bats)
+
+    @property
+    def count(self) -> int:
+        return self.bats[0].count if self.bats else 0
+
+    def __len__(self) -> int:
+        return self.count
+
+    def column(self, name: str) -> BAT:
+        try:
+            return self.bats[self.names.index(name)]
+        except ValueError:
+            raise MalError(f"result has no column {name!r}") from None
+
+    def rows(self) -> List[Tuple[Any, ...]]:
+        """Materialize as python tuples (NULL → None)."""
+        cols = [
+            [python_value(b.atom, v) for v in b.tail] for b in self.bats
+        ]
+        return list(zip(*cols)) if cols and self.count else []
+
+    def atoms(self) -> List[AtomType]:
+        return [b.atom for b in self.bats]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultSet({self.names}, rows={self.count})"

@@ -1,0 +1,64 @@
+"""Numeric scalar functions (``batmath``): abs, floor, ceil, round, sqrt.
+
+Element-wise over numeric BATs, NULL-preserving; sqrt of a negative value
+yields NULL (SQL would raise — NULL keeps streams flowing, same policy as
+division by zero in :mod:`repro.kernel.calc`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import TypeMismatchError
+from .bat import BAT
+from .types import AtomType, nil_value, numpy_dtype
+
+__all__ = ["math_unary", "MATH_FUNCTIONS"]
+
+MATH_FUNCTIONS = ("abs", "floor", "ceil", "round", "sqrt")
+
+
+def math_unary(name: str, bat: BAT, digits: int = 0) -> BAT:
+    """Apply ``name`` element-wise; see module docstring for NULL rules.
+
+    ``floor``/``ceil``/``round`` return LNG for integral inputs and DBL
+    otherwise (``round`` with ``digits > 0`` is always DBL); ``abs`` keeps
+    the input type; ``sqrt`` is always DBL.
+    """
+    if name not in MATH_FUNCTIONS:
+        raise TypeMismatchError(f"unknown math function {name!r}")
+    if not bat.atom.is_numeric:
+        raise TypeMismatchError(f"{name} requires a numeric column")
+    nils = bat.nil_positions()
+    values = np.where(nils, 0.0, bat.tail.astype(np.float64))
+    if name == "abs":
+        result = np.abs(values)
+        out_atom = bat.atom
+    elif name == "floor":
+        result = np.floor(values)
+        out_atom = AtomType.LNG if bat.atom.is_integral else AtomType.DBL
+    elif name == "ceil":
+        result = np.ceil(values)
+        out_atom = AtomType.LNG if bat.atom.is_integral else AtomType.DBL
+    elif name == "round":
+        result = np.round(values, int(digits))
+        out_atom = AtomType.DBL if digits else (
+            AtomType.LNG if bat.atom.is_integral else AtomType.DBL
+        )
+    else:  # sqrt
+        with np.errstate(invalid="ignore"):
+            result = np.sqrt(values)
+        nils = nils | (values < 0)
+        out_atom = AtomType.DBL
+    out = BAT(out_atom, hseqbase=bat.hseqbase, capacity=max(bat.count, 1))
+    if out_atom is AtomType.DBL:
+        result = result.astype(np.float64)
+        result[nils] = np.nan
+        out.append_array(result)
+    else:
+        stored = np.where(nils, 0.0, result).astype(numpy_dtype(out_atom))
+        stored[nils] = nil_value(out_atom)
+        out.append_array(stored)
+    return out

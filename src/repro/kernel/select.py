@@ -1,0 +1,134 @@
+"""Selection primitives: the kernel's ``select`` family.
+
+Selections take a BAT (and an optional candidate list) and return a
+*candidate list* of qualifying head oids — they never materialize values.
+This mirrors MonetDB's ``algebra.select`` / ``algebra.thetaselect`` and is
+what lets the DataCell evaluate predicate windows lazily.
+
+NULL semantics: NULL tail values never qualify for any comparison except the
+explicit :func:`select_nil` / inverse selections.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Optional
+
+import numpy as np
+
+from ..errors import KernelError
+from .bat import BAT
+from .candidates import from_mask, resolve_positions
+from .types import AtomType, coerce_scalar, nil_mask
+
+__all__ = ["range_select", "theta_select", "select_nil", "select_non_nil"]
+
+_THETA_OPS = {
+    "==": operator.eq,
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def _masked_tail(bat: BAT, candidates: Optional[np.ndarray]):
+    positions = resolve_positions(bat, candidates)
+    return positions, bat.tail[positions]
+
+
+def range_select(
+    bat: BAT,
+    low: Any,
+    high: Any,
+    candidates: Optional[np.ndarray] = None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+    anti: bool = False,
+) -> np.ndarray:
+    """Oids of tuples with tail value in the range ``[low, high]``.
+
+    ``None`` for either bound means unbounded on that side.  ``anti=True``
+    inverts the range (but still never matches NULLs).
+    """
+    positions, tail = _masked_tail(bat, candidates)
+    mask = np.ones(len(tail), dtype=bool)
+    if bat.atom is AtomType.STR:
+        # Object arrays: compare via python, skipping Nones.
+        nils = np.fromiter((v is None for v in tail), bool, count=len(tail))
+        if low is not None:
+            cmp_lo = operator.ge if low_inclusive else operator.gt
+            mask &= np.fromiter(
+                (v is not None and cmp_lo(v, low) for v in tail),
+                bool,
+                count=len(tail),
+            )
+        if high is not None:
+            cmp_hi = operator.le if high_inclusive else operator.lt
+            mask &= np.fromiter(
+                (v is not None and cmp_hi(v, high) for v in tail),
+                bool,
+                count=len(tail),
+            )
+    else:
+        nils = nil_mask(bat.atom, tail)
+        if low is not None:
+            low = coerce_scalar(bat.atom, low)
+            mask &= (tail >= low) if low_inclusive else (tail > low)
+        if high is not None:
+            high = coerce_scalar(bat.atom, high)
+            mask &= (tail <= high) if high_inclusive else (tail < high)
+    if anti:
+        mask = ~mask
+    mask &= ~nils
+    return positions[np.flatnonzero(mask)] + bat.hseqbase
+
+
+def theta_select(
+    bat: BAT,
+    op: str,
+    value: Any,
+    candidates: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Oids of tuples whose tail compares ``op`` against ``value``.
+
+    ``op`` is one of ``== != < <= > >=`` (SQL spellings ``=`` and ``<>``
+    accepted).  Comparing against NULL yields the empty candidate list.
+    """
+    if op not in _THETA_OPS:
+        raise KernelError(f"unknown theta operator {op!r}")
+    if value is None:
+        return np.empty(0, dtype=np.int64)
+    positions, tail = _masked_tail(bat, candidates)
+    fn = _THETA_OPS[op]
+    if bat.atom is AtomType.STR:
+        mask = np.fromiter(
+            (v is not None and fn(v, value) for v in tail),
+            bool,
+            count=len(tail),
+        )
+    else:
+        value = coerce_scalar(bat.atom, value)
+        mask = fn(tail, value) & ~nil_mask(bat.atom, tail)
+    return positions[np.flatnonzero(mask)] + bat.hseqbase
+
+
+def select_nil(
+    bat: BAT, candidates: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Oids of tuples whose tail is NULL (``IS NULL``)."""
+    positions, tail = _masked_tail(bat, candidates)
+    mask = nil_mask(bat.atom, tail)
+    return positions[np.flatnonzero(mask)] + bat.hseqbase
+
+
+def select_non_nil(
+    bat: BAT, candidates: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Oids of tuples whose tail is not NULL (``IS NOT NULL``)."""
+    positions, tail = _masked_tail(bat, candidates)
+    mask = ~nil_mask(bat.atom, tail)
+    return positions[np.flatnonzero(mask)] + bat.hseqbase

@@ -1,0 +1,254 @@
+"""Atom types of the column-store kernel.
+
+The kernel mirrors MonetDB's atom-type design: every column (BAT tail) is a
+homogeneously typed array of *atoms*.  The supported atoms are:
+
+========= =====================  =============================
+atom       python / numpy dtype   NULL representation
+========= =====================  =============================
+``OID``    ``int64``              ``2**63 - 1`` (``OID_NIL``)
+``BOOL``   ``int8`` (0/1)         ``-1``
+``INT``    ``int32``              ``-2**31`` (``INT_NIL``)
+``LNG``    ``int64``              ``-2**63`` (``LNG_NIL``)
+``DBL``    ``float64``            ``nan``
+``STR``    object (``str``)       ``None``
+``TIMESTAMP`` ``float64`` seconds ``nan``
+========= =====================  =============================
+
+NULLs follow MonetDB's convention of in-domain sentinel values rather than a
+separate validity bitmap; :func:`is_nil` and :func:`nil_mask` centralize the
+sentinel logic so operators never hand-roll comparisons.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any, Optional
+
+import numpy as np
+
+from ..errors import TypeMismatchError
+
+__all__ = [
+    "AtomType",
+    "OID_NIL",
+    "INT_NIL",
+    "LNG_NIL",
+    "BOOL_NIL",
+    "nil_value",
+    "is_nil",
+    "nil_mask",
+    "numpy_dtype",
+    "coerce_scalar",
+    "common_type",
+    "python_value",
+    "parse_atom",
+]
+
+
+class AtomType(enum.Enum):
+    """Enumeration of kernel atom types."""
+
+    OID = "oid"
+    BOOL = "bool"
+    INT = "int"
+    LNG = "lng"
+    DBL = "dbl"
+    STR = "str"
+    TIMESTAMP = "timestamp"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AtomType.{self.name}"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether arithmetic is defined on this atom type."""
+        return self in _NUMERIC
+
+    @property
+    def is_integral(self) -> bool:
+        return self in (AtomType.INT, AtomType.LNG, AtomType.OID)
+
+
+_NUMERIC = {
+    AtomType.INT,
+    AtomType.LNG,
+    AtomType.DBL,
+    AtomType.OID,
+    AtomType.TIMESTAMP,
+}
+
+OID_NIL = np.int64(2**63 - 1)
+LNG_NIL = np.int64(-(2**63))
+INT_NIL = np.int32(-(2**31))
+BOOL_NIL = np.int8(-1)
+
+_DTYPES = {
+    AtomType.OID: np.dtype(np.int64),
+    AtomType.BOOL: np.dtype(np.int8),
+    AtomType.INT: np.dtype(np.int32),
+    AtomType.LNG: np.dtype(np.int64),
+    AtomType.DBL: np.dtype(np.float64),
+    AtomType.STR: np.dtype(object),
+    AtomType.TIMESTAMP: np.dtype(np.float64),
+}
+
+_NILS = {
+    AtomType.OID: OID_NIL,
+    AtomType.BOOL: BOOL_NIL,
+    AtomType.INT: INT_NIL,
+    AtomType.LNG: LNG_NIL,
+    AtomType.DBL: float("nan"),
+    AtomType.STR: None,
+    AtomType.TIMESTAMP: float("nan"),
+}
+
+# Widening lattice used by arithmetic and comparison type resolution.
+_RANK = {
+    AtomType.BOOL: 0,
+    AtomType.INT: 1,
+    AtomType.OID: 2,
+    AtomType.LNG: 2,
+    AtomType.TIMESTAMP: 3,
+    AtomType.DBL: 3,
+}
+
+
+def numpy_dtype(atom: AtomType) -> np.dtype:
+    """Return the numpy dtype used to store tails of this atom type."""
+    return _DTYPES[atom]
+
+
+def nil_value(atom: AtomType) -> Any:
+    """Return the NULL sentinel for ``atom``."""
+    return _NILS[atom]
+
+
+def is_nil(atom: AtomType, value: Any) -> bool:
+    """True when ``value`` is the NULL sentinel of ``atom``."""
+    if value is None:
+        return True
+    if atom is AtomType.STR:
+        return value is None
+    if atom in (AtomType.DBL, AtomType.TIMESTAMP):
+        try:
+            return math.isnan(value)
+        except TypeError:
+            return False
+    try:
+        return int(value) == int(_NILS[atom])
+    except (TypeError, ValueError):
+        return False
+
+
+def nil_mask(atom: AtomType, values: np.ndarray) -> np.ndarray:
+    """Boolean mask of NULL positions in a tail array of type ``atom``."""
+    if atom is AtomType.STR:
+        return np.fromiter(
+            (v is None for v in values), dtype=bool, count=len(values)
+        )
+    if atom in (AtomType.DBL, AtomType.TIMESTAMP):
+        return np.isnan(values)
+    return values == _NILS[atom]
+
+
+def common_type(left: AtomType, right: AtomType) -> AtomType:
+    """Resolve the result atom type for a binary numeric operation.
+
+    Raises :class:`TypeMismatchError` when the atoms cannot be combined
+    (e.g. ``STR`` with ``INT``).
+    """
+    if left is right:
+        return left
+    if left is AtomType.STR or right is AtomType.STR:
+        raise TypeMismatchError(
+            f"cannot combine {left.value} with {right.value}"
+        )
+    rank_l, rank_r = _RANK[left], _RANK[right]
+    winner = left if rank_l >= rank_r else right
+    # OID/LNG tie and TIMESTAMP/DBL tie: prefer the plain numeric type.
+    if {left, right} == {AtomType.OID, AtomType.LNG}:
+        return AtomType.LNG
+    if {left, right} == {AtomType.TIMESTAMP, AtomType.DBL}:
+        return AtomType.DBL
+    if winner in (AtomType.OID, AtomType.TIMESTAMP) and rank_l != rank_r:
+        return winner
+    return winner
+
+
+def coerce_scalar(atom: AtomType, value: Any) -> Any:
+    """Coerce a python scalar to the storage representation of ``atom``.
+
+    ``None`` always maps to the type's NULL sentinel.  Raises
+    :class:`TypeMismatchError` for values outside the atom's domain.
+    """
+    if value is None or is_nil(atom, value):
+        return _NILS[atom]
+    try:
+        if atom is AtomType.STR:
+            if not isinstance(value, str):
+                return str(value)
+            return value
+        if atom is AtomType.BOOL:
+            if isinstance(value, bool):
+                return np.int8(1 if value else 0)
+            iv = int(value)
+            if iv not in (-1, 0, 1):
+                raise ValueError(value)
+            return np.int8(iv)
+        if atom in (AtomType.DBL, AtomType.TIMESTAMP):
+            return float(value)
+        if atom is AtomType.INT:
+            iv = int(value)
+            if not (-(2**31) < iv < 2**31):
+                raise ValueError(value)
+            return np.int32(iv)
+        # OID / LNG
+        return np.int64(int(value))
+    except (TypeError, ValueError) as exc:
+        raise TypeMismatchError(
+            f"cannot coerce {value!r} to {atom.value}"
+        ) from exc
+
+
+def python_value(atom: AtomType, value: Any) -> Optional[Any]:
+    """Convert a storage atom back to a plain python value (NULL → None)."""
+    if is_nil(atom, value):
+        return None
+    if atom is AtomType.STR:
+        return value
+    if atom is AtomType.BOOL:
+        return bool(value)
+    if atom in (AtomType.DBL, AtomType.TIMESTAMP):
+        return float(value)
+    return int(value)
+
+
+def parse_atom(atom: AtomType, text: str) -> Any:
+    """Parse the textual flat-tuple representation of one field.
+
+    Used by receptors: the DataCell interchange format is textual flat
+    relational tuples.  Empty strings and the literal ``null`` map to NULL.
+    """
+    stripped = text.strip()
+    if stripped == "" or stripped.lower() == "null":
+        return _NILS[atom]
+    if atom is AtomType.STR:
+        return stripped
+    if atom is AtomType.BOOL:
+        low = stripped.lower()
+        if low in ("true", "t", "1"):
+            return np.int8(1)
+        if low in ("false", "f", "0"):
+            return np.int8(0)
+        raise TypeMismatchError(f"bad bool literal {text!r}")
+    if atom in (AtomType.DBL, AtomType.TIMESTAMP):
+        try:
+            return float(stripped)
+        except ValueError as exc:
+            raise TypeMismatchError(f"bad {atom.value} literal {text!r}") from exc
+    try:
+        return coerce_scalar(atom, int(stripped))
+    except ValueError as exc:
+        raise TypeMismatchError(f"bad {atom.value} literal {text!r}") from exc

@@ -1,0 +1,22 @@
+"""Linear Road (Arasu et al., VLDB 2004) on the DataCell.
+
+Traffic generator, the continuous-query network (segment statistics,
+accident detection, toll notification, account balance), a driving
+harness, and an independent reference validator.
+"""
+
+from .generator import LinearRoadConfig, LinearRoadGenerator
+from .harness import LinearRoadHarness, LinearRoadResult
+from .model import PositionReport, toll_formula
+from .validator import LinearRoadReference, validate_outputs
+
+__all__ = [
+    "LinearRoadConfig",
+    "LinearRoadGenerator",
+    "LinearRoadHarness",
+    "LinearRoadResult",
+    "LinearRoadReference",
+    "PositionReport",
+    "toll_formula",
+    "validate_outputs",
+]

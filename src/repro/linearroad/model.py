@@ -1,0 +1,127 @@
+"""Linear Road data model (Arasu et al., VLDB 2004).
+
+The benchmark simulates ``L`` expressways, each 100 miles long, divided
+into 100 one-mile segments, with two directions of travel.  Cars emit a
+*position report* every 30 seconds; the system must maintain per-segment
+statistics, detect accidents, and issue toll notifications with bounded
+response time.
+
+This module defines the schemas, constants and plain-python event records
+shared by the generator, the DataCell query network, and the validator.
+
+Scope note (documented substitution, see DESIGN.md): we implement the
+continuous-query heart of Linear Road — position reports, segment
+statistics (LAV / vehicle counts), accident detection and toll
+notification, plus type-2 account-balance requests.  The historical-data
+queries that need a 10-week pre-generated history (daily expenditure,
+travel-time estimation) are out of scope, as they exercise a warehouse,
+not the stream engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..kernel.types import AtomType
+
+__all__ = [
+    "NUM_SEGMENTS",
+    "LANES",
+    "REPORT_INTERVAL",
+    "STOPPED_REPORTS_FOR_ACCIDENT",
+    "LAV_WINDOW_MINUTES",
+    "TOLL_SPEED_THRESHOLD",
+    "TOLL_VEHICLE_THRESHOLD",
+    "ACCIDENT_UPSTREAM_SEGMENTS",
+    "POSITION_REPORT_COLUMNS",
+    "TOLL_NOTIFICATION_COLUMNS",
+    "ACCIDENT_ALERT_COLUMNS",
+    "SEGMENT_STATS_COLUMNS",
+    "BALANCE_REQUEST_COLUMNS",
+    "BALANCE_RESPONSE_COLUMNS",
+    "PositionReport",
+    "toll_formula",
+]
+
+NUM_SEGMENTS = 100  # one-mile segments per expressway
+LANES = 5  # 0 = entry ramp, 1..3 = travel, 4 = exit ramp
+REPORT_INTERVAL = 30  # seconds between a car's position reports
+STOPPED_REPORTS_FOR_ACCIDENT = 4  # consecutive identical reports = stopped
+LAV_WINDOW_MINUTES = 5  # latest-average-velocity window
+TOLL_SPEED_THRESHOLD = 40.0  # mph; tolls apply below this LAV
+TOLL_VEHICLE_THRESHOLD = 50  # cars in the segment needed for a toll
+ACCIDENT_UPSTREAM_SEGMENTS = 5  # alert cars within 5 segments upstream
+
+# Basket schemas -------------------------------------------------------
+POSITION_REPORT_COLUMNS: List[Tuple[str, AtomType]] = [
+    ("t", AtomType.INT),  # report time, seconds since run start
+    ("vid", AtomType.INT),  # vehicle id
+    ("speed", AtomType.INT),  # mph, 0..100
+    ("xway", AtomType.INT),  # expressway id
+    ("lane", AtomType.INT),
+    ("dir", AtomType.INT),  # 0 = east, 1 = west
+    ("seg", AtomType.INT),  # 0..99
+    ("pos", AtomType.INT),  # feet from the western end
+]
+
+TOLL_NOTIFICATION_COLUMNS: List[Tuple[str, AtomType]] = [
+    ("vid", AtomType.INT),
+    ("t", AtomType.INT),  # report time that triggered the toll
+    ("lav", AtomType.DBL),
+    ("toll", AtomType.INT),
+]
+
+ACCIDENT_ALERT_COLUMNS: List[Tuple[str, AtomType]] = [
+    ("vid", AtomType.INT),
+    ("t", AtomType.INT),
+    ("xway", AtomType.INT),
+    ("seg", AtomType.INT),  # accident segment
+]
+
+SEGMENT_STATS_COLUMNS: List[Tuple[str, AtomType]] = [
+    ("minute", AtomType.INT),
+    ("xway", AtomType.INT),
+    ("dir", AtomType.INT),
+    ("seg", AtomType.INT),
+    ("lav", AtomType.DBL),  # average speed over the last 5 minutes
+    ("cars", AtomType.INT),  # distinct vehicles in the previous minute
+]
+
+BALANCE_REQUEST_COLUMNS: List[Tuple[str, AtomType]] = [
+    ("t", AtomType.INT),
+    ("vid", AtomType.INT),
+    ("qid", AtomType.INT),
+]
+
+BALANCE_RESPONSE_COLUMNS: List[Tuple[str, AtomType]] = [
+    ("qid", AtomType.INT),
+    ("t", AtomType.INT),
+    ("balance", AtomType.INT),
+]
+
+
+@dataclass(frozen=True)
+class PositionReport:
+    """One type-0 input tuple."""
+
+    t: int
+    vid: int
+    speed: int
+    xway: int
+    lane: int
+    dir: int
+    seg: int
+    pos: int
+
+    def as_row(self) -> Tuple[int, int, int, int, int, int, int, int]:
+        return (
+            self.t, self.vid, self.speed, self.xway,
+            self.lane, self.dir, self.seg, self.pos,
+        )
+
+
+def toll_formula(cars_in_segment: int) -> int:
+    """The Linear Road toll: ``2 * (cars - 50)^2``."""
+    overflow = cars_in_segment - TOLL_VEHICLE_THRESHOLD
+    return 2 * overflow * overflow if overflow > 0 else 0

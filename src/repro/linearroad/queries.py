@@ -1,0 +1,434 @@
+"""The Linear Road continuous-query network, expressed as DataCell plans.
+
+Topology (a showcase of the paper's architecture: one shared input basket
+with multiple reader factories, chained through intermediate baskets)::
+
+    lr_position ──(shared)──> SegmentStatisticsPlan ──> lr_stats
+                ──(shared)──> AccidentDetectionPlan ──> lr_accidents
+                ──(shared)──> TollNotificationPlan  ──> lr_tolls, lr_alerts
+    lr_stats / lr_accidents ──(side inputs, consumed)──> TollNotificationPlan
+    lr_balance_req ──> AccountBalancePlan ──> lr_balance_out
+
+Determinism rule (shared with the validator): all effects are defined on
+*event time*, never on batch boundaries —
+
+* segment statistics for minute ``m`` are computed from minutes ``< m``
+  (LAV over the last 5 complete minutes, car count from minute ``m-1``);
+* an accident detected by a report at time ``td`` affects reports with
+  ``t > td`` and stops affecting them after the clearing report time
+  ``tc`` (active for ``td < t <= tc``);
+* a balance request at time ``t`` reflects tolls from reports at time
+  ``< t``.
+
+Under these rules the outputs are identical for *any* batching of the
+input — the property test in ``tests/test_linearroad.py`` replays the same
+log at several batch sizes and asserts byte-equality, which is exactly the
+out-of-order/batch flexibility argument of paper §2.2.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..core.basket import BasketSnapshot
+from ..core.factory import ContinuousPlan, PlanOutput
+from ..kernel.bat import bat_from_values
+from ..kernel.mal import ResultSet
+from ..kernel.types import AtomType
+from .model import (
+    ACCIDENT_UPSTREAM_SEGMENTS,
+    LAV_WINDOW_MINUTES,
+    STOPPED_REPORTS_FOR_ACCIDENT,
+    TOLL_SPEED_THRESHOLD,
+    TOLL_VEHICLE_THRESHOLD,
+    toll_formula,
+)
+
+__all__ = [
+    "SegmentStatisticsPlan",
+    "AccidentDetectionPlan",
+    "TollNotificationPlan",
+    "AccountBalancePlan",
+    "TollState",
+]
+
+SegKey = Tuple[int, int, int]  # (xway, dir, seg)
+
+
+def _rows_to_result(columns, rows) -> Optional[ResultSet]:
+    if not rows:
+        return None
+    values = list(zip(*rows))
+    bats = [
+        bat_from_values(atom, list(col))
+        for (name, atom), col in zip(columns, values)
+    ]
+    return ResultSet([name for name, _ in columns], bats)
+
+
+def _reports_from(snapshot: BasketSnapshot) -> List[Tuple[int, ...]]:
+    """Extract position-report rows (t, vid, speed, xway, lane, dir, seg,
+    pos) from a snapshot, in arrival order."""
+    cols = [
+        snapshot.column(c).python_list()
+        for c in ("t", "vid", "speed", "xway", "lane", "dir", "seg", "pos")
+    ]
+    return list(zip(*cols)) if snapshot.count else []
+
+
+class SegmentStatisticsPlan(ContinuousPlan):
+    """Maintains per-minute segment statistics; emits completed minutes.
+
+    For every (xway, dir, seg) and minute ``m`` it accumulates speed sums
+    and distinct vehicles.  Once the watermark (max report time seen)
+    enters minute ``m+1``, minute ``m`` is complete and a stats row for
+    minute ``m+1`` is emitted: LAV = mean speed over minutes
+    ``[m+1-5, m]``, cars = distinct vehicles in minute ``m``.
+    """
+
+    def __init__(self, input_basket: str = "lr_position",
+                 output_basket: str = "lr_stats"):
+        self.input_basket = input_basket.lower()
+        self.output_basket = output_basket.lower()
+        from .model import SEGMENT_STATS_COLUMNS
+
+        self._columns = SEGMENT_STATS_COLUMNS
+        self._speed: Dict[Tuple[SegKey, int], Tuple[float, int]] = {}
+        self._vehicles: Dict[Tuple[SegKey, int], Set[int]] = defaultdict(set)
+        self._keys_per_minute: Dict[int, Set[SegKey]] = defaultdict(set)
+        self._emitted_minute = -1
+        self.rows_emitted = 0
+
+    def run(self, snapshots: Dict[str, BasketSnapshot]) -> PlanOutput:
+        snap = snapshots.get(self.input_basket)
+        watermark = None
+        if snap is not None and snap.count:
+            for t, vid, speed, xway, lane, direction, seg, pos in (
+                _reports_from(snap)
+            ):
+                minute = t // 60
+                key = ((xway, direction, seg), minute)
+                total, count = self._speed.get(key, (0.0, 0))
+                self._speed[key] = (total + speed, count + 1)
+                self._vehicles[key].add(vid)
+                self._keys_per_minute[minute].add((xway, direction, seg))
+                watermark = t if watermark is None else max(watermark, t)
+        rows: List[Tuple[Any, ...]] = []
+        if watermark is not None:
+            current_minute = watermark // 60
+            while self._emitted_minute < current_minute - 1:
+                self._emitted_minute += 1
+                rows.extend(self._emit_minute(self._emitted_minute))
+        result = _rows_to_result(self._columns, rows)
+        self.rows_emitted += len(rows)
+        return PlanOutput(
+            results={self.output_basket: result} if result else {}
+        )
+
+    def _emit_minute(self, m: int) -> List[Tuple[Any, ...]]:
+        """Stats valid *during* minute m+1, from data of minutes <= m."""
+        target_minute = m + 1
+        keys: Set[SegKey] = set()
+        for minute in range(max(0, m - LAV_WINDOW_MINUTES + 1), m + 1):
+            keys |= self._keys_per_minute.get(minute, set())
+        rows = []
+        for key in sorted(keys):
+            total, count = 0.0, 0
+            for minute in range(max(0, m - LAV_WINDOW_MINUTES + 1), m + 1):
+                t, c = self._speed.get((key, minute), (0.0, 0))
+                total += t
+                count += c
+            lav = total / count if count else 0.0
+            cars = len(self._vehicles.get((key, m), set()))
+            rows.append(
+                (target_minute, key[0], key[1], key[2], lav, cars)
+            )
+        return rows
+
+    def describe(self) -> str:
+        return "linear-road segment statistics"
+
+
+class AccidentDetectionPlan(ContinuousPlan):
+    """Detects accidents: >=2 cars stopped at the same position.
+
+    A car is *stopped* after ``STOPPED_REPORTS_FOR_ACCIDENT`` consecutive
+    reports with speed 0 at the same position.  Emits status rows
+    ``(t, xway, dir, seg, status)`` — 1 on detection, 0 on clear.
+    """
+
+    COLUMNS = [
+        ("t", AtomType.INT),
+        ("xway", AtomType.INT),
+        ("dir", AtomType.INT),
+        ("seg", AtomType.INT),
+        ("status", AtomType.INT),
+    ]
+
+    def __init__(self, input_basket: str = "lr_position",
+                 output_basket: str = "lr_accidents"):
+        self.input_basket = input_basket.lower()
+        self.output_basket = output_basket.lower()
+        # vid -> (position key, consecutive stopped count)
+        self._stopped_streak: Dict[int, Tuple[Tuple[int, int, int, int], int]] = {}
+        # position key -> set of stopped vids
+        self._stopped_at: Dict[Tuple[int, int, int, int], Set[int]] = (
+            defaultdict(set)
+        )
+        # active accident: (xway, dir, seg) -> position key
+        self._active: Dict[SegKey, Tuple[int, int, int, int]] = {}
+        self.accidents_detected = 0
+
+    def run(self, snapshots: Dict[str, BasketSnapshot]) -> PlanOutput:
+        snap = snapshots.get(self.input_basket)
+        rows: List[Tuple[int, int, int, int, int]] = []
+        if snap is not None and snap.count:
+            for t, vid, speed, xway, lane, direction, seg, pos in (
+                _reports_from(snap)
+            ):
+                rows.extend(
+                    self._process(t, vid, speed, xway, direction, seg, pos)
+                )
+        result = _rows_to_result(self.COLUMNS, rows)
+        return PlanOutput(
+            results={self.output_basket: result} if result else {}
+        )
+
+    def _process(self, t, vid, speed, xway, direction, seg, pos):
+        events = []
+        place = (xway, direction, seg, pos)
+        seg_key = (xway, direction, seg)
+        if speed == 0:
+            prev_place, streak = self._stopped_streak.get(vid, (None, 0))
+            streak = streak + 1 if prev_place == place else 1
+            self._stopped_streak[vid] = (place, streak)
+            if streak >= STOPPED_REPORTS_FOR_ACCIDENT:
+                self._stopped_at[place].add(vid)
+                if (
+                    len(self._stopped_at[place]) >= 2
+                    and seg_key not in self._active
+                ):
+                    self._active[seg_key] = place
+                    self.accidents_detected += 1
+                    events.append((t, xway, direction, seg, 1))
+        else:
+            # car moved: clear its stopped state, maybe clear the accident
+            prev_place, _ = self._stopped_streak.pop(vid, (None, 0))
+            if prev_place is not None:
+                stopped = self._stopped_at.get(prev_place)
+                if stopped and vid in stopped:
+                    stopped.discard(vid)
+                    seg_prev = prev_place[:3]
+                    if (
+                        self._active.get(seg_prev) == prev_place
+                        and len(stopped) < 2
+                    ):
+                        del self._active[seg_prev]
+                        events.append(
+                            (t, seg_prev[0], seg_prev[1], seg_prev[2], 0)
+                        )
+        return events
+
+    def describe(self) -> str:
+        return "linear-road accident detection"
+
+
+@dataclass
+class TollState:
+    """Balances shared between toll assessment and balance queries."""
+
+    balances: Dict[int, int] = field(default_factory=dict)
+    # (vid, toll, assessed at report time)
+    history: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    def assess(self, vid: int, toll: int, t: int) -> None:
+        if toll > 0:
+            self.balances[vid] = self.balances.get(vid, 0) + toll
+            self.history.append((vid, toll, t))
+
+    def balance_before(self, vid: int, t: int) -> int:
+        """Balance from tolls assessed at report times strictly < t."""
+        return sum(
+            toll for v, toll, at in self.history if v == vid and at < t
+        )
+
+
+class TollNotificationPlan(ContinuousPlan):
+    """Issues toll notifications and accident alerts on segment crossings.
+
+    Side inputs: the stats and accident baskets (consumed into local
+    lookup state).  Main input: position reports.  On a report where the
+    vehicle enters a new segment (and is not on the exit lane):
+
+    * if an accident is active (by event-time rule) within 5 downstream
+      segments → accident alert, toll 0;
+    * else if LAV < 40 and cars > 50 → toll ``2*(cars-50)^2``;
+    * else toll 0.
+
+    Every crossing produces a toll notification row; non-zero tolls are
+    assessed to the vehicle's balance.
+    """
+
+    TOLL_COLUMNS = [
+        ("vid", AtomType.INT),
+        ("t", AtomType.INT),
+        ("lav", AtomType.DBL),
+        ("toll", AtomType.INT),
+    ]
+    ALERT_COLUMNS = [
+        ("vid", AtomType.INT),
+        ("t", AtomType.INT),
+        ("xway", AtomType.INT),
+        ("seg", AtomType.INT),
+    ]
+
+    def __init__(
+        self,
+        state: Optional[TollState] = None,
+        position_basket: str = "lr_position",
+        stats_basket: str = "lr_stats",
+        accidents_basket: str = "lr_accidents",
+        toll_output: str = "lr_tolls",
+        alert_output: str = "lr_alerts",
+    ):
+        self.state = state or TollState()
+        self.position_basket = position_basket.lower()
+        self.stats_basket = stats_basket.lower()
+        self.accidents_basket = accidents_basket.lower()
+        self.toll_output = toll_output.lower()
+        self.alert_output = alert_output.lower()
+        # lookup state
+        self._stats: Dict[Tuple[int, SegKey], Tuple[float, int]] = {}
+        # (xway, dir, seg) -> list of (detect_t, clear_t or None)
+        self._accidents: Dict[SegKey, List[List[Optional[int]]]] = (
+            defaultdict(list)
+        )
+        self._last_seg: Dict[int, SegKey] = {}
+        self.notifications = 0
+        self.alerts = 0
+
+    # ------------------------------------------------------------------
+    def run(self, snapshots: Dict[str, BasketSnapshot]) -> PlanOutput:
+        self._ingest_stats(snapshots.get(self.stats_basket))
+        self._ingest_accidents(snapshots.get(self.accidents_basket))
+        tolls: List[Tuple[Any, ...]] = []
+        alerts: List[Tuple[Any, ...]] = []
+        snap = snapshots.get(self.position_basket)
+        if snap is not None and snap.count:
+            for t, vid, speed, xway, lane, direction, seg, pos in (
+                _reports_from(snap)
+            ):
+                self._report(
+                    t, vid, xway, lane, direction, seg, tolls, alerts
+                )
+        results = {}
+        toll_result = _rows_to_result(self.TOLL_COLUMNS, tolls)
+        if toll_result:
+            results[self.toll_output] = toll_result
+        alert_result = _rows_to_result(self.ALERT_COLUMNS, alerts)
+        if alert_result:
+            results[self.alert_output] = alert_result
+        self.notifications += len(tolls)
+        self.alerts += len(alerts)
+        return PlanOutput(results=results)
+
+    def _ingest_stats(self, snap: Optional[BasketSnapshot]) -> None:
+        if snap is None or snap.count == 0:
+            return
+        cols = [
+            snap.column(c).python_list()
+            for c in ("minute", "xway", "dir", "seg", "lav", "cars")
+        ]
+        for minute, xway, direction, seg, lav, cars in zip(*cols):
+            self._stats[(minute, (xway, direction, seg))] = (lav, cars)
+
+    def _ingest_accidents(self, snap: Optional[BasketSnapshot]) -> None:
+        if snap is None or snap.count == 0:
+            return
+        cols = [
+            snap.column(c).python_list()
+            for c in ("t", "xway", "dir", "seg", "status")
+        ]
+        for t, xway, direction, seg, status in zip(*cols):
+            key = (xway, direction, seg)
+            if status == 1:
+                self._accidents[key].append([t, None])
+            else:
+                for span in reversed(self._accidents[key]):
+                    if span[1] is None:
+                        span[1] = t
+                        break
+
+    def _accident_downstream(self, t, xway, direction, seg) -> Optional[int]:
+        """Segment of an active accident within 5 downstream segments."""
+        step = 1 if direction == 0 else -1
+        for offset in range(ACCIDENT_UPSTREAM_SEGMENTS + 1):
+            probe = seg + step * offset
+            for detect_t, clear_t in self._accidents.get(
+                (xway, direction, probe), ()
+            ):
+                if detect_t < t and (clear_t is None or t <= clear_t):
+                    return probe
+        return None
+
+    def _report(self, t, vid, xway, lane, direction, seg, tolls, alerts):
+        seg_key = (xway, direction, seg)
+        if self._last_seg.get(vid) == seg_key:
+            return
+        self._last_seg[vid] = seg_key
+        if lane == 4:  # exit ramp: no toll on the way out
+            return
+        accident_seg = self._accident_downstream(t, xway, direction, seg)
+        if accident_seg is not None:
+            alerts.append((vid, t, xway, accident_seg))
+            tolls.append((vid, t, 0.0, 0))
+            return
+        lav, cars = self._stats.get((t // 60, seg_key), (0.0, 0))
+        if lav < TOLL_SPEED_THRESHOLD and cars > TOLL_VEHICLE_THRESHOLD:
+            toll = toll_formula(cars)
+        else:
+            toll = 0
+        tolls.append((vid, t, float(lav), toll))
+        self.state.assess(vid, toll, t)
+
+    def describe(self) -> str:
+        return "linear-road toll notification"
+
+
+class AccountBalancePlan(ContinuousPlan):
+    """Type-2 queries: report a vehicle's accumulated tolls."""
+
+    COLUMNS = [
+        ("qid", AtomType.INT),
+        ("t", AtomType.INT),
+        ("balance", AtomType.INT),
+    ]
+
+    def __init__(
+        self,
+        state: TollState,
+        input_basket: str = "lr_balance_req",
+        output_basket: str = "lr_balance_out",
+    ):
+        self.state = state
+        self.input_basket = input_basket.lower()
+        self.output_basket = output_basket.lower()
+
+    def run(self, snapshots: Dict[str, BasketSnapshot]) -> PlanOutput:
+        snap = snapshots.get(self.input_basket)
+        rows = []
+        if snap is not None and snap.count:
+            cols = [
+                snap.column(c).python_list() for c in ("t", "vid", "qid")
+            ]
+            for t, vid, qid in zip(*cols):
+                rows.append((qid, t, self.state.balance_before(vid, t)))
+        result = _rows_to_result(self.COLUMNS, rows)
+        return PlanOutput(
+            results={self.output_basket: result} if result else {}
+        )
+
+    def describe(self) -> str:
+        return "linear-road account balance"

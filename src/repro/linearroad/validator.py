@@ -1,0 +1,194 @@
+"""Reference implementation and validator for Linear Road outputs.
+
+A deliberately simple, sequential re-implementation of the benchmark
+semantics (same event-time rules as :mod:`repro.linearroad.queries`, see
+the determinism note there).  The harness compares the DataCell network's
+outputs against this oracle — any divergence is a correctness bug in the
+stream engine, not a tuning issue.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .model import (
+    ACCIDENT_UPSTREAM_SEGMENTS,
+    LAV_WINDOW_MINUTES,
+    STOPPED_REPORTS_FOR_ACCIDENT,
+    TOLL_SPEED_THRESHOLD,
+    TOLL_VEHICLE_THRESHOLD,
+    PositionReport,
+    toll_formula,
+)
+
+__all__ = ["LinearRoadReference", "validate_outputs"]
+
+SegKey = Tuple[int, int, int]
+
+
+class LinearRoadReference:
+    """Computes expected tolls, alerts and balances from a report log."""
+
+    def __init__(self, reports: Sequence[PositionReport]):
+        self.reports = sorted(reports, key=lambda r: (r.t, r.vid))
+        self.tolls: List[Tuple[int, int, float, int]] = []
+        self.alerts: List[Tuple[int, int, int, int]] = []
+        self._toll_history: List[Tuple[int, int, int]] = []
+        self._stats_speed: Dict[Tuple[SegKey, int], Tuple[float, int]] = {}
+        self._stats_vehicles: Dict[Tuple[SegKey, int], Set[int]] = (
+            defaultdict(set)
+        )
+        self._accident_spans: Dict[SegKey, List[List[Optional[int]]]] = (
+            defaultdict(list)
+        )
+        self._computed = False
+
+    # ------------------------------------------------------------------
+    def compute(self) -> "LinearRoadReference":
+        if self._computed:
+            return self
+        self._precompute_stats()
+        self._precompute_accidents()
+        self._assess_tolls()
+        self._computed = True
+        return self
+
+    # -- minute statistics (pure event-time function of the log) --------
+    def _precompute_stats(self) -> None:
+        for r in self.reports:
+            minute = r.t // 60
+            key = ((r.xway, r.dir, r.seg), minute)
+            total, count = self._stats_speed.get(key, (0.0, 0))
+            self._stats_speed[key] = (total + r.speed, count + 1)
+            self._stats_vehicles[key].add(r.vid)
+
+    def _stats_for(self, minute: int, key: SegKey) -> Tuple[float, int]:
+        """(LAV, cars) valid during ``minute`` — from minutes < minute."""
+        total, count = 0.0, 0
+        for m in range(max(0, minute - LAV_WINDOW_MINUTES), minute):
+            t, c = self._stats_speed.get((key, m), (0.0, 0))
+            total += t
+            count += c
+        lav = total / count if count else 0.0
+        cars = len(self._stats_vehicles.get((key, minute - 1), set()))
+        return lav, cars
+
+    def _max_minute(self) -> int:
+        return max((r.t // 60 for r in self.reports), default=-1)
+
+    # -- accidents -------------------------------------------------------
+    def _precompute_accidents(self) -> None:
+        streak: Dict[int, Tuple[Tuple[int, int, int, int], int]] = {}
+        stopped_at: Dict[Tuple[int, int, int, int], Set[int]] = defaultdict(set)
+        active: Dict[SegKey, Tuple[int, int, int, int]] = {}
+        for r in self.reports:
+            place = (r.xway, r.dir, r.seg, r.pos)
+            seg_key = (r.xway, r.dir, r.seg)
+            if r.speed == 0:
+                prev, n = streak.get(r.vid, (None, 0))
+                n = n + 1 if prev == place else 1
+                streak[r.vid] = (place, n)
+                if n >= STOPPED_REPORTS_FOR_ACCIDENT:
+                    stopped_at[place].add(r.vid)
+                    if len(stopped_at[place]) >= 2 and seg_key not in active:
+                        active[seg_key] = place
+                        self._accident_spans[seg_key].append([r.t, None])
+            else:
+                prev, _ = streak.pop(r.vid, (None, 0))
+                if prev is not None and r.vid in stopped_at.get(prev, set()):
+                    stopped_at[prev].discard(r.vid)
+                    prev_key = prev[:3]
+                    if (
+                        active.get(prev_key) == prev
+                        and len(stopped_at[prev]) < 2
+                    ):
+                        del active[prev_key]
+                        for span in reversed(
+                            self._accident_spans[prev_key]
+                        ):
+                            if span[1] is None:
+                                span[1] = r.t
+                                break
+
+    def _accident_downstream(self, t, xway, direction, seg) -> Optional[int]:
+        step = 1 if direction == 0 else -1
+        for offset in range(ACCIDENT_UPSTREAM_SEGMENTS + 1):
+            probe = seg + step * offset
+            for detect_t, clear_t in self._accident_spans.get(
+                (xway, direction, probe), ()
+            ):
+                if detect_t < t and (clear_t is None or t <= clear_t):
+                    return probe
+        return None
+
+    # -- toll assessment --------------------------------------------------
+    def _assess_tolls(self) -> None:
+        last_seg: Dict[int, SegKey] = {}
+        for r in self.reports:
+            seg_key = (r.xway, r.dir, r.seg)
+            if last_seg.get(r.vid) == seg_key:
+                continue
+            last_seg[r.vid] = seg_key
+            if r.lane == 4:
+                continue
+            accident_seg = self._accident_downstream(
+                r.t, r.xway, r.dir, r.seg
+            )
+            if accident_seg is not None:
+                self.alerts.append((r.vid, r.t, r.xway, accident_seg))
+                self.tolls.append((r.vid, r.t, 0.0, 0))
+                continue
+            lav, cars = self._stats_for(r.t // 60, seg_key)
+            if lav < TOLL_SPEED_THRESHOLD and cars > TOLL_VEHICLE_THRESHOLD:
+                toll = toll_formula(cars)
+            else:
+                toll = 0
+            self.tolls.append((r.vid, r.t, float(lav), toll))
+            if toll > 0:
+                self._toll_history.append((r.vid, toll, r.t))
+
+    # ------------------------------------------------------------------
+    def balance_before(self, vid: int, t: int) -> int:
+        return sum(
+            toll for v, toll, at in self._toll_history if v == vid and at < t
+        )
+
+    def expected_balances(
+        self, requests: Sequence[Tuple[int, int, int]]
+    ) -> List[Tuple[int, int, int]]:
+        """(qid, t, balance) rows for (t, vid, qid) requests."""
+        return [
+            (qid, t, self.balance_before(vid, t)) for t, vid, qid in requests
+        ]
+
+
+def validate_outputs(
+    reference: LinearRoadReference,
+    got_tolls: Sequence[Tuple[int, int, float, int]],
+    got_alerts: Sequence[Tuple[int, int, int, int]],
+    got_balances: Sequence[Tuple[int, int, int]] = (),
+    expected_balances: Sequence[Tuple[int, int, int]] = (),
+) -> List[str]:
+    """Compare engine outputs against the oracle; returns mismatch notes
+    (empty list = pass)."""
+    reference.compute()
+    problems: List[str] = []
+    if sorted(got_tolls) != sorted(reference.tolls):
+        missing = set(map(tuple, reference.tolls)) - set(map(tuple, got_tolls))
+        extra = set(map(tuple, got_tolls)) - set(map(tuple, reference.tolls))
+        problems.append(
+            f"toll mismatch: {len(missing)} missing, {len(extra)} extra "
+            f"(e.g. missing={list(missing)[:3]}, extra={list(extra)[:3]})"
+        )
+    if sorted(got_alerts) != sorted(reference.alerts):
+        problems.append(
+            f"alert mismatch: expected {len(reference.alerts)}, "
+            f"got {len(got_alerts)}"
+        )
+    if sorted(got_balances) != sorted(expected_balances):
+        problems.append(
+            f"balance mismatch: expected {len(expected_balances)}, "
+            f"got {len(got_balances)}"
+        )
+    return problems

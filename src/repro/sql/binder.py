@@ -1,0 +1,129 @@
+"""Name resolution and type checking helpers for the SQL compiler.
+
+The central structure is :class:`Relation`: the compiler's view of "the
+current intermediate table" — an ordered set of columns, each backed by a
+MAL variable holding a dense-headed BAT, with the qualifier (source alias)
+and atom type needed to resolve references and infer result types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import BindError
+from ..kernel.types import AtomType
+from .ast_nodes import ColumnRef
+
+__all__ = ["type_name_to_atom", "BoundColumn", "Relation"]
+
+_TYPE_NAMES = {
+    "int": AtomType.INT,
+    "integer": AtomType.INT,
+    "smallint": AtomType.INT,
+    "bigint": AtomType.LNG,
+    "lng": AtomType.LNG,
+    "double": AtomType.DBL,
+    "dbl": AtomType.DBL,
+    "float": AtomType.DBL,
+    "real": AtomType.DBL,
+    "varchar": AtomType.STR,
+    "text": AtomType.STR,
+    "string": AtomType.STR,
+    "str": AtomType.STR,
+    "boolean": AtomType.BOOL,
+    "bool": AtomType.BOOL,
+    "timestamp": AtomType.TIMESTAMP,
+}
+
+
+def type_name_to_atom(name: str) -> AtomType:
+    """Map an SQL type name to a kernel atom type."""
+    try:
+        return _TYPE_NAMES[name.lower()]
+    except KeyError:
+        raise BindError(f"unknown SQL type {name!r}") from None
+
+
+@dataclass
+class BoundColumn:
+    """One column of a :class:`Relation`."""
+
+    qualifier: Optional[str]  # source alias (lower-cased), None after aggregation
+    name: str  # column name (lower-cased)
+    var: str  # MAL variable holding the column BAT
+    atom: AtomType
+    hidden: bool = False  # excluded from * expansion (e.g. dc_time)
+
+    @property
+    def display(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+class Relation:
+    """An ordered collection of bound columns with SQL resolution rules."""
+
+    def __init__(self, columns: Optional[List[BoundColumn]] = None):
+        self.columns: List[BoundColumn] = list(columns or [])
+
+    def add(self, column: BoundColumn) -> None:
+        self.columns.append(column)
+
+    def extend(self, other: "Relation") -> None:
+        self.columns.extend(other.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def visible(self) -> List[BoundColumn]:
+        return [c for c in self.columns if not c.hidden]
+
+    def first_var(self) -> str:
+        """Any column variable — used as alignment anchor for constants."""
+        if not self.columns:
+            raise BindError("empty relation has no columns")
+        return self.columns[0].var
+
+    def resolve(self, ref: ColumnRef) -> BoundColumn:
+        """Resolve a (possibly qualified) column reference.
+
+        Raises :class:`BindError` for unknown or ambiguous names.
+        """
+        name = ref.name.lower()
+        qualifier = ref.table.lower() if ref.table else None
+        matches = [
+            c
+            for c in self.columns
+            if c.name == name
+            and (qualifier is None or c.qualifier == qualifier)
+        ]
+        if not matches:
+            raise BindError(f"unknown column {ref.display()!r}")
+        if len(matches) > 1:
+            raise BindError(f"ambiguous column {ref.display()!r}")
+        return matches[0]
+
+    def columns_of(self, qualifier: str) -> List[BoundColumn]:
+        """Visible columns belonging to one source alias (for ``alias.*``)."""
+        out = [
+            c
+            for c in self.visible()
+            if c.qualifier == qualifier.lower()
+        ]
+        if not out:
+            raise BindError(f"unknown source alias {qualifier!r} in *")
+        return out
+
+    def remap(self, mapping: Dict[str, str]) -> "Relation":
+        """A copy with each column's var replaced via ``mapping[var]``."""
+        return Relation(
+            [
+                BoundColumn(
+                    c.qualifier, c.name, mapping[c.var], c.atom, c.hidden
+                )
+                for c in self.columns
+            ]
+        )

@@ -1,0 +1,198 @@
+"""Unit and property tests for the Petri-net processing model (§2.4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.petrinet import MarkedPlace, PetriNet, Transition
+from repro.errors import SchedulerError
+
+
+def simple_chain(initial=3):
+    """R -> B1 -> Q -> B2 -> E, the Figure 1 topology as a pure net."""
+    net = PetriNet()
+    stream = net.add_place(MarkedPlace("stream", initial))
+    b1 = net.add_place(MarkedPlace("B1"))
+    b2 = net.add_place(MarkedPlace("B2"))
+    delivered = net.add_place(MarkedPlace("delivered"))
+    net.add_transition(Transition("R", [(stream, 1)], [b1]))
+    net.add_transition(Transition("Q", [(b1, 1)], [b2]))
+    net.add_transition(Transition("E", [(b2, 1)], [delivered]))
+    return net
+
+
+class TestPlace:
+    def test_marking(self):
+        p = MarkedPlace("p", 2)
+        assert p.tokens() == 2
+
+    def test_negative_marking_rejected(self):
+        with pytest.raises(SchedulerError):
+            MarkedPlace("p", -1)
+
+    def test_add_remove(self):
+        p = MarkedPlace("p")
+        p.add(3)
+        p.remove(2)
+        assert p.tokens() == 1
+
+    def test_remove_too_many(self):
+        p = MarkedPlace("p", 1)
+        with pytest.raises(SchedulerError):
+            p.remove(2)
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(SchedulerError):
+            MarkedPlace("p").add(-1)
+
+
+class TestTransition:
+    def test_needs_input(self):
+        with pytest.raises(SchedulerError):
+            Transition("t", [], [MarkedPlace("p")])
+
+    def test_threshold_validation(self):
+        with pytest.raises(SchedulerError):
+            Transition("t", [(MarkedPlace("p"), 0)], [])
+
+    def test_enabled_requires_all_inputs(self):
+        """Paper: when a transition has multiple inputs, all must have tuples."""
+        a, b = MarkedPlace("a", 1), MarkedPlace("b", 0)
+        t = Transition("t", [(a, 1), (b, 1)], [])
+        assert not t.enabled()
+        b.add()
+        assert t.enabled()
+
+    def test_threshold_gating(self):
+        """Paper: a basket may need a minimum of n tuples before firing."""
+        p = MarkedPlace("p", 2)
+        t = Transition("t", [(p, 3)], [])
+        assert not t.enabled()
+        p.add()
+        assert t.enabled()
+
+    def test_fire_moves_tokens(self):
+        a, out = MarkedPlace("a", 2), MarkedPlace("out")
+        t = Transition("t", [(a, 2)], [out])
+        t.fire()
+        assert a.tokens() == 0 and out.tokens() == 1
+
+    def test_fire_disabled_raises(self):
+        t = Transition("t", [(MarkedPlace("a"), 1)], [])
+        with pytest.raises(SchedulerError):
+            t.fire()
+
+    def test_custom_action(self):
+        fired = []
+        p = MarkedPlace("p", 1)
+        t = Transition("t", [(p, 1)], [], action=lambda: fired.append(1))
+        t.fire()
+        assert fired == [1]
+        # custom action does not auto-move tokens
+        assert p.tokens() == 1
+
+    def test_firing_counter(self):
+        p = MarkedPlace("p", 2)
+        t = Transition("t", [(p, 1)], [])
+        t.fire()
+        t.fire()
+        assert t.firings == 2
+
+
+class TestNet:
+    def test_duplicate_place(self):
+        net = PetriNet()
+        net.add_place(MarkedPlace("p"))
+        with pytest.raises(SchedulerError):
+            net.add_place(MarkedPlace("p"))
+
+    def test_duplicate_transition(self):
+        net = simple_chain()
+        with pytest.raises(SchedulerError):
+            net.add_transition(
+                Transition("R", [(net.places["stream"], 1)], [])
+            )
+
+    def test_foreign_place_rejected(self):
+        net = PetriNet()
+        foreign = MarkedPlace("x", 1)
+        with pytest.raises(SchedulerError):
+            net.add_transition(Transition("t", [(foreign, 1)], []))
+
+    def test_chain_flows_to_completion(self):
+        net = simple_chain(initial=3)
+        net.run_until_quiescent()
+        assert net.marking() == {
+            "stream": 0, "B1": 0, "B2": 0, "delivered": 3,
+        }
+
+    def test_step_fires_each_enabled_once(self):
+        net = simple_chain(initial=2)
+        fired = net.step()
+        assert fired == 1  # only R enabled initially
+        fired = net.step()
+        assert fired == 2  # R (one token left) and Q
+
+    def test_priority_ordering(self):
+        net = PetriNet()
+        src = net.add_place(MarkedPlace("src", 1))
+        sink = net.add_place(MarkedPlace("sink"))
+        order = []
+        low = Transition(
+            "low", [(src, 1)], [sink],
+            action=lambda: order.append("low"), priority=0,
+        )
+        high = Transition(
+            "high", [(src, 1)], [sink],
+            action=lambda: order.append("high"), priority=5,
+        )
+        net.add_transition(low)
+        net.add_transition(high)
+        net.step()
+        assert order[0] == "high"
+
+    def test_livelock_detection(self):
+        net = PetriNet()
+        a = net.add_place(MarkedPlace("a", 1))
+        b = net.add_place(MarkedPlace("b"))
+        net.add_transition(Transition("ab", [(a, 1)], [b]))
+        net.add_transition(Transition("ba", [(b, 1)], [a]))
+        with pytest.raises(SchedulerError):
+            net.run_until_quiescent(max_steps=100)
+
+    def test_remove_transition(self):
+        net = simple_chain()
+        net.remove_transition("Q")
+        net.run_until_quiescent()
+        assert net.marking()["B1"] == 3  # Q gone, tokens stuck in B1
+
+
+class TestTokenConservation:
+    @given(st.integers(0, 30))
+    def test_chain_conserves_tokens(self, n):
+        """Total tokens in a 1-in/1-out chain is invariant under firing."""
+        net = simple_chain(initial=n)
+        before = sum(net.marking().values())
+        net.run_until_quiescent()
+        assert sum(net.marking().values()) == before
+        assert net.marking()["delivered"] == n
+
+    @given(
+        st.integers(1, 5), st.integers(0, 20),
+    )
+    def test_threshold_leaves_remainder(self, threshold, tokens):
+        """A threshold-n transition leaves tokens % n in its input place."""
+        net = PetriNet()
+        src = net.add_place(MarkedPlace("src", tokens))
+        sink = net.add_place(MarkedPlace("sink"))
+
+        def consume():
+            src.remove(threshold)
+            sink.add(1)
+
+        net.add_transition(
+            Transition("t", [(src, threshold)], [sink], action=consume)
+        )
+        net.run_until_quiescent()
+        assert net.marking()["src"] == tokens % threshold
+        assert net.marking()["sink"] == tokens // threshold

@@ -1,0 +1,189 @@
+"""Tests for load-shedding policies and topology introspection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DataCell, LogicalClock
+from repro.core.basket import Basket
+from repro.core.clock import LogicalClock as LC
+from repro.core.shedding import (
+    LoadShedController,
+    apply_shedding_policy,
+)
+from repro.core.topology import build_topology
+from repro.errors import BasketError
+from repro.kernel.types import AtomType
+
+
+def make_basket(values):
+    b = Basket("s", [("v", AtomType.INT)], LC())
+    b.insert_rows([(v,) for v in values])
+    return b
+
+
+class TestPolicies:
+    def test_oldest_keeps_freshest(self):
+        b = make_basket(range(10))
+        dropped = apply_shedding_policy(b, 4, "oldest")
+        assert dropped == 6
+        assert [r[0] for r in b.rows()] == [6, 7, 8, 9]
+
+    def test_newest_keeps_backlog(self):
+        b = make_basket(range(10))
+        apply_shedding_policy(b, 4, "newest")
+        assert [r[0] for r in b.rows()] == [0, 1, 2, 3]
+
+    def test_sample_keeps_capacity_in_order(self):
+        import random
+
+        b = make_basket(range(100))
+        apply_shedding_policy(b, 30, "sample", random.Random(1))
+        kept = [r[0] for r in b.rows()]
+        assert len(kept) == 30
+        assert kept == sorted(kept), "sampling preserves arrival order"
+
+    def test_under_capacity_is_noop(self):
+        b = make_basket(range(3))
+        assert apply_shedding_policy(b, 10, "oldest") == 0
+        assert b.count == 3
+
+    def test_unknown_policy(self):
+        with pytest.raises(BasketError):
+            apply_shedding_policy(make_basket([1]), 0, "psychic")
+
+    def test_negative_capacity(self):
+        with pytest.raises(BasketError):
+            apply_shedding_policy(make_basket([1]), -1)
+
+    def test_shed_counter_updates(self):
+        b = make_basket(range(10))
+        apply_shedding_policy(b, 5, "oldest")
+        assert b.total_shed == 5
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=60),
+        st.integers(0, 60),
+        st.sampled_from(["oldest", "newest", "sample"]),
+    )
+    def test_capacity_respected(self, values, capacity, policy):
+        b = make_basket(values)
+        dropped = apply_shedding_policy(b, capacity, policy)
+        assert b.count == min(len(values), capacity)
+        assert dropped == max(0, len(values) - capacity)
+
+    def test_sequences_stay_consistent_after_shedding(self):
+        """Shedding must not confuse shared-reader cursors."""
+        b = make_basket(range(10))
+        b.register_reader("q")
+        apply_shedding_policy(b, 5, "oldest")
+        snap = b.read_new("q")
+        assert snap.count == 5
+        assert [int(s) for s in snap.seqs] == [5, 6, 7, 8, 9]
+
+
+class TestController:
+    def test_engages_over_budget(self):
+        a = make_basket(range(50))
+        b = make_basket(range(50))
+        controller = LoadShedController([a, b], budget=40)
+        dropped = controller.tick()
+        assert dropped > 0
+        assert controller.engaged
+        assert controller.buffered() <= 40
+
+    def test_idle_under_budget(self):
+        a = make_basket(range(5))
+        controller = LoadShedController([a], budget=100)
+        assert controller.tick() == 0
+        assert not controller.engaged
+
+    def test_hysteresis_releases(self):
+        a = make_basket(range(100))
+        controller = LoadShedController([a], budget=50, release_ratio=0.5)
+        controller.tick()
+        assert controller.engaged
+        a.consume_all()
+        controller.tick()
+        assert not controller.engaged
+
+    def test_validation(self):
+        with pytest.raises(BasketError):
+            LoadShedController([], budget=10)
+        with pytest.raises(BasketError):
+            LoadShedController([make_basket([1])], budget=0)
+        with pytest.raises(BasketError):
+            LoadShedController([make_basket([1])], budget=5, policy="nope")
+
+    def test_stats(self):
+        a = make_basket(range(20))
+        controller = LoadShedController([a], budget=10)
+        controller.tick()
+        stats = controller.stats()
+        assert stats["dropped"] > 0
+        assert stats["ticks"] == 1
+
+
+class TestTopology:
+    def build_cell(self):
+        cell = DataCell(clock=LogicalClock())
+        cell.execute("create basket s (v int)")
+        cell.add_receptor("rx", ["s"])
+        q = cell.submit_continuous(
+            "select * from [select * from s] as x where x.v > 0",
+            name="filter",
+        )
+        return cell, q
+
+    def test_places_and_transitions_recovered(self):
+        cell, _ = self.build_cell()
+        topo = build_topology(cell.scheduler)
+        kinds = dict(topo.transitions)
+        assert kinds["rx"] == "receptor"
+        assert kinds["filter"] == "factory"
+        assert kinds["filter_emitter"] == "emitter"
+        assert "s" in topo.places
+        assert "filter_out" in topo.places
+
+    def test_arcs_form_figure1_chain(self):
+        cell, _ = self.build_cell()
+        topo = build_topology(cell.scheduler)
+        # channel -> rx -> s -> filter -> filter_out -> emitter -> clients
+        downstream = topo.downstream_of("channel:rx_channel")
+        assert {"rx", "s", "filter", "filter_out", "filter_emitter"} <= (
+            downstream
+        )
+
+    def test_predecessors_successors(self):
+        cell, _ = self.build_cell()
+        topo = build_topology(cell.scheduler)
+        assert topo.successors("s") == ["filter"]
+        assert "rx" in topo.predecessors("s")
+
+    def test_dot_rendering(self):
+        cell, _ = self.build_cell()
+        dot = build_topology(cell.scheduler).to_dot()
+        assert dot.startswith("digraph datacell {")
+        assert '"s" -> "filter";' in dot
+        assert "shape=box" in dot and "shape=ellipse" in dot
+
+    def test_replicator_recognized(self):
+        from repro.core.scheduler import Scheduler
+        from repro.core.strategies import (
+            RangeQuery,
+            build_separate_pipeline,
+        )
+
+        clock = LC()
+        stream = Basket("raw", [("v", AtomType.INT)], clock)
+        net = build_separate_pipeline(
+            stream, [RangeQuery("q1", "v", 0, 5)], clock
+        )
+        scheduler = Scheduler()
+        for t in net.all_transitions():
+            scheduler.register(t)
+        topo = build_topology(scheduler)
+        kinds = dict(topo.transitions)
+        assert kinds["raw_replicator"] == "replicator"
+        assert "raw" in topo.places

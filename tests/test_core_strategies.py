@@ -1,0 +1,214 @@
+"""Tests for the §2.5 processing strategies and §3.2 splitting/sharing.
+
+The three strategies must be *semantically equivalent* (same result rows
+per query) while differing in the work they do — the property the
+benchmarks then quantify.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basket import Basket
+from repro.core.clock import LogicalClock
+from repro.core.scheduler import Scheduler
+from repro.core.splitting import (
+    SplitterPlan,
+    build_shared_subplan_pipeline,
+    build_split_pipeline,
+)
+from repro.core.strategies import (
+    RangeQuery,
+    build_chained_pipeline,
+    build_separate_pipeline,
+    build_shared_pipeline,
+)
+from repro.errors import DataCellError
+from repro.kernel.types import AtomType
+
+
+def run_strategy(builder, queries, values):
+    clock = LogicalClock()
+    stream = Basket("s", [("v", AtomType.INT)], clock)
+    net = builder(stream, queries, clock)
+    scheduler = Scheduler()
+    for t in net.all_transitions():
+        scheduler.register(t)
+    stream.insert_rows([(v,) for v in values])
+    scheduler.run_until_quiescent()
+    return {
+        name: sorted(r[0] for r in basket.rows())
+        for name, basket in net.output_baskets.items()
+    }, net
+
+
+DISJOINT = [
+    RangeQuery("q1", "v", 0, 9),
+    RangeQuery("q2", "v", 10, 19),
+    RangeQuery("q3", "v", 20, 29),
+]
+VALUES = [5, 12, 25, 7, 31, 15, 22, 3, 18, 29, 40, 0]
+
+
+class TestEquivalence:
+    def test_all_strategies_agree(self):
+        results = {}
+        for name, builder in (
+            ("separate", build_separate_pipeline),
+            ("shared", build_shared_pipeline),
+            ("chained", build_chained_pipeline),
+        ):
+            results[name], _ = run_strategy(builder, DISJOINT, VALUES)
+        assert results["separate"] == results["shared"] == results["chained"]
+        assert results["separate"]["q1"] == [0, 3, 5, 7]
+        assert results["separate"]["q2"] == [12, 15, 18]
+        assert results["separate"]["q3"] == [22, 25, 29]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(-5, 35), max_size=60))
+    def test_equivalence_property(self, values):
+        expected = None
+        for builder in (
+            build_separate_pipeline,
+            build_shared_pipeline,
+            build_chained_pipeline,
+        ):
+            got, _ = run_strategy(builder, DISJOINT, values)
+            if expected is None:
+                expected = got
+            else:
+                assert got == expected
+
+
+class TestSeparate:
+    def test_replication_cost_visible(self):
+        _, net = run_strategy(build_separate_pipeline, DISJOINT, VALUES)
+        replicator = net.extra_transitions[0]
+        assert replicator.tuples_copied == len(VALUES) * len(DISJOINT)
+
+    def test_each_query_scans_full_stream(self):
+        _, net = run_strategy(build_separate_pipeline, DISJOINT, VALUES)
+        for factory in net.factories:
+            assert factory.plan.tuples_scanned == len(VALUES)
+
+
+class TestShared:
+    def test_no_replication(self):
+        _, net = run_strategy(build_shared_pipeline, DISJOINT, VALUES)
+        assert net.extra_transitions == []
+
+    def test_stream_basket_drained_after_all_readers(self):
+        _, net = run_strategy(build_shared_pipeline, DISJOINT, VALUES)
+        assert net.stream_basket.count == 0
+
+    def test_readers_registered(self):
+        clock = LogicalClock()
+        stream = Basket("s", [("v", AtomType.INT)], clock)
+        net = build_shared_pipeline(stream, DISJOINT, clock)
+        assert sorted(stream.readers()) == ["q1", "q2", "q3"]
+
+
+class TestChained:
+    def test_later_queries_scan_less(self):
+        """The §2.5 claim: q2 processes fewer tuples than q1 under chaining."""
+        _, net = run_strategy(build_chained_pipeline, DISJOINT, VALUES)
+        scans = [f.plan.tuples_scanned for f in net.factories]
+        assert scans[0] == len(VALUES)
+        assert scans[1] == scans[0] - 4  # q1 removed its 4 matches
+        assert scans[2] == scans[1] - 3
+
+    def test_overlapping_ranges_rejected(self):
+        clock = LogicalClock()
+        stream = Basket("s", [("v", AtomType.INT)], clock)
+        overlapping = [
+            RangeQuery("q1", "v", 0, 10),
+            RangeQuery("q2", "v", 5, 15),
+        ]
+        with pytest.raises(DataCellError):
+            build_chained_pipeline(stream, overlapping, clock)
+
+    def test_nulls_flow_down_the_chain(self):
+        got, net = run_strategy(
+            build_chained_pipeline, DISJOINT, [5, None, 15]
+        )
+        assert got["q1"] == [5]
+        assert got["q2"] == [15]
+        # NULL reached the last link and was dropped there (no leftover)
+        assert net.factories[-1].plan.tuples_scanned >= 1
+
+
+class TestSplitting:
+    def test_splitter_copies_and_releases(self):
+        clock = LogicalClock()
+        stream = Basket("s", [("v", AtomType.INT)], clock)
+        q1 = RangeQuery("fast", "v", 0, 9)
+        q2 = RangeQuery("slow", "v", 10, 19)
+        net = build_split_pipeline(stream, [(q1, None), (q2, None)], clock)
+        scheduler = Scheduler()
+        for t in net.all_transitions():
+            scheduler.register(t)
+        stream.insert_rows([(v,) for v in VALUES])
+        scheduler.run_until_quiescent()
+        assert stream.count == 0
+        assert sorted(r[0] for r in net.output_baskets["fast"].rows()) == [
+            0, 3, 5, 7,
+        ]
+        splitter = net.factories[0]
+        assert splitter.plan.tuples_copied == len(VALUES) * 2
+
+    def test_splitter_needs_staging(self):
+        with pytest.raises(DataCellError):
+            SplitterPlan("x", [])
+
+    def test_fast_query_not_blocked_by_slow(self):
+        """After the splitter runs, the fast factory is enabled even if the
+        slow one has not consumed its staging basket."""
+        clock = LogicalClock()
+        stream = Basket("s", [("v", AtomType.INT)], clock)
+        q1 = RangeQuery("fast", "v", 0, 9)
+        q2 = RangeQuery("slow", "v", 10, 19)
+        net = build_split_pipeline(stream, [(q1, None), (q2, None)], clock)
+        splitter, fast, slow = net.factories
+        stream.insert_rows([(1,), (11,)])
+        splitter.activate()
+        assert stream.count == 0, "shared input released immediately"
+        assert fast.enabled() and slow.enabled()
+        fast.activate()  # fast proceeds without waiting for slow
+        assert net.output_baskets["fast"].count == 1
+
+
+class TestSharedSubplan:
+    def test_cover_factory_runs_once_per_batch(self):
+        clock = LogicalClock()
+        stream = Basket("s", [("v", AtomType.INT)], clock)
+        queries = [
+            RangeQuery("q1", "v", 10, 19),
+            RangeQuery("q2", "v", 15, 25),
+        ]
+        net = build_shared_subplan_pipeline(stream, queries, clock)
+        scheduler = Scheduler()
+        for t in net.all_transitions():
+            scheduler.register(t)
+        stream.insert_rows([(v,) for v in VALUES])
+        scheduler.run_until_quiescent()
+        cover = net.factories[0]
+        # the cover factory scanned the full stream once...
+        assert cover.plan.tuples_scanned == len(VALUES)
+        # ...and the refinements scanned only the covered range
+        covered = [v for v in VALUES if 10 <= v <= 25]
+        for refine in net.factories[1:]:
+            assert refine.plan.tuples_scanned == len(covered)
+        assert sorted(
+            r[0] for r in net.output_baskets["q1"].rows()
+        ) == [12, 15, 18]
+        assert sorted(
+            r[0] for r in net.output_baskets["q2"].rows()
+        ) == [15, 18, 22, 25]
+
+    def test_requires_bounded_ranges(self):
+        clock = LogicalClock()
+        stream = Basket("s", [("v", AtomType.INT)], clock)
+        with pytest.raises(DataCellError):
+            build_shared_subplan_pipeline(
+                stream, [RangeQuery("q", "v", None, 5)], clock
+            )

@@ -1,0 +1,388 @@
+"""Tests for windowed query processing (§3.1).
+
+The load-bearing property: the *incremental* (basic-window) route and the
+*re-evaluation* route must produce byte-identical answers, while the
+incremental route touches each tuple at most once.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basket import Basket
+from repro.core.clock import LogicalClock
+from repro.core.factory import ConsumeMode, Factory, InputBinding
+from repro.core.windows import (
+    IncrementalWindowAggregatePlan,
+    ReEvalWindowAggregatePlan,
+    SlidingWindowJoinPlan,
+    WindowMode,
+    WindowSpec,
+    basic_window_width,
+)
+from repro.errors import DataCellError
+from repro.kernel.types import AtomType
+
+AGGS = ["sum", "count", "count_star", "avg", "min", "max"]
+
+
+class TestWindowSpec:
+    def test_tumbling_default(self):
+        spec = WindowSpec(WindowMode.COUNT, 10)
+        assert spec.slide == 10 and spec.tumbling
+
+    def test_invalid_sizes(self):
+        with pytest.raises(DataCellError):
+            WindowSpec(WindowMode.COUNT, 0)
+        with pytest.raises(DataCellError):
+            WindowSpec(WindowMode.COUNT, 10, -1)
+
+    def test_slide_larger_than_size_rejected(self):
+        with pytest.raises(DataCellError):
+            WindowSpec(WindowMode.COUNT, 5, 10)
+
+    def test_count_windows_need_integers(self):
+        with pytest.raises(DataCellError):
+            WindowSpec(WindowMode.COUNT, 2.5)
+
+    def test_window_bounds(self):
+        spec = WindowSpec(WindowMode.COUNT, 10, 4)
+        assert spec.window_start(0) == 0
+        assert spec.window_end(0) == 10
+        assert spec.window_start(3) == 12
+
+    def test_basic_window_width_is_gcd(self):
+        assert basic_window_width(WindowSpec(WindowMode.COUNT, 12, 8)) == 4
+        assert basic_window_width(WindowSpec(WindowMode.COUNT, 10, 10)) == 10
+        assert basic_window_width(WindowSpec(WindowMode.TIME, 1.5, 0.5)) == 0.5
+
+
+def drive_count_window(plan_cls, spec, values, chunks=5, aggs=None,
+                       groups=None):
+    clock = LogicalClock()
+    columns = [("v", AtomType.DBL)]
+    if groups is not None:
+        columns.append(("g", AtomType.STR))
+    inp = Basket("w_in", columns, clock)
+    plan = plan_cls(
+        "w_in", "v", aggs or AGGS, spec, "w_out",
+        group_column="g" if groups is not None else None,
+    )
+    out = Basket("w_out", plan.output_schema(), clock)
+    factory = Factory("w", plan, [InputBinding(inp, ConsumeMode.ALL)], [out])
+    batches = np.array_split(np.arange(len(values)), chunks)
+    for batch in batches:
+        if len(batch) == 0:
+            continue
+        if groups is not None:
+            inp.insert_rows(
+                [(values[i], groups[i]) for i in batch]
+            )
+        else:
+            inp.insert_rows([(values[i],) for i in batch])
+        clock.advance(0.01)
+        if factory.enabled():
+            factory.activate()
+    rows = [r[:-1] for r in out.rows()]  # strip dc_time
+    return rows, plan
+
+
+class TestCountWindows:
+    def test_tumbling_sums(self):
+        rows, _ = drive_count_window(
+            IncrementalWindowAggregatePlan,
+            WindowSpec(WindowMode.COUNT, 4),
+            [1.0] * 12,
+            aggs=["sum"],
+        )
+        assert rows == [(0, 4.0), (1, 4.0), (2, 4.0)]
+
+    def test_sliding_window_ids(self):
+        rows, _ = drive_count_window(
+            IncrementalWindowAggregatePlan,
+            WindowSpec(WindowMode.COUNT, 4, 2),
+            list(map(float, range(10))),
+            aggs=["min", "max"],
+        )
+        assert rows[0] == (0, 0.0, 3.0)
+        assert rows[1] == (1, 2.0, 5.0)
+        assert rows[2] == (2, 4.0, 7.0)
+
+    def test_incomplete_window_not_emitted(self):
+        rows, _ = drive_count_window(
+            ReEvalWindowAggregatePlan,
+            WindowSpec(WindowMode.COUNT, 10),
+            [1.0] * 9,
+            aggs=["count"],
+        )
+        assert rows == []
+
+    def test_nulls_skipped_by_value_aggs_counted_by_star(self):
+        values = [1.0, None, 3.0, None]
+        rows, _ = drive_count_window(
+            IncrementalWindowAggregatePlan,
+            WindowSpec(WindowMode.COUNT, 4),
+            values,
+            aggs=["count", "count_star", "sum"],
+            chunks=1,
+        )
+        assert rows == [(0, 2, 4, 4.0)]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.one_of(st.floats(-100, 100), st.none()),
+            min_size=0, max_size=80,
+        ),
+        st.integers(1, 12),
+        st.data(),
+    )
+    def test_routes_equivalent(self, values, size, data):
+        slide = data.draw(st.integers(1, size))
+        chunks = data.draw(st.integers(1, 6))
+        spec = WindowSpec(WindowMode.COUNT, size, slide)
+        r1, p1 = drive_count_window(
+            ReEvalWindowAggregatePlan, spec, values, chunks
+        )
+        r2, p2 = drive_count_window(
+            IncrementalWindowAggregatePlan, spec, values, chunks
+        )
+        assert len(r1) == len(r2)
+        for a, b in zip(r1, r2):
+            assert a[0] == b[0]
+            for x, y in zip(a[1:], b[1:]):
+                if x is None or y is None:
+                    assert x == y
+                else:
+                    assert math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_incremental_touches_each_tuple_once(self):
+        values = list(map(float, range(100)))
+        spec = WindowSpec(WindowMode.COUNT, 20, 5)
+        _, plan = drive_count_window(
+            IncrementalWindowAggregatePlan, spec, values, chunks=10
+        )
+        assert plan.values_processed == len(values)
+
+    def test_reeval_touches_windows_times_size(self):
+        values = list(map(float, range(100)))
+        spec = WindowSpec(WindowMode.COUNT, 20, 5)
+        _, plan = drive_count_window(
+            ReEvalWindowAggregatePlan, spec, values, chunks=10
+        )
+        assert plan.windows_emitted == 17
+        assert plan.values_processed == 17 * 20
+
+    def test_tuples_needed_gates_scheduling(self):
+        spec = WindowSpec(WindowMode.COUNT, 10, 10)
+        clock = LogicalClock()
+        inp = Basket("w_in", [("v", AtomType.DBL)], clock)
+        plan = IncrementalWindowAggregatePlan(
+            "w_in", "v", ["sum"], spec, "w_out"
+        )
+        assert plan.tuples_needed() == 10
+        out = Basket("w_out", plan.output_schema(), clock)
+        f = Factory("w", plan, [InputBinding(inp, ConsumeMode.ALL)], [out])
+        inp.insert_rows([(1.0,)] * 4)
+        f.activate()
+        assert plan.tuples_needed() == 6
+
+
+class TestGroupedWindows:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.floats(-50, 50), min_size=0, max_size=60),
+        st.data(),
+    )
+    def test_grouped_routes_equivalent(self, values, data):
+        groups = [
+            data.draw(st.sampled_from(["a", "b", "c"]))
+            for _ in values
+        ]
+        spec = WindowSpec(WindowMode.COUNT, 8, 4)
+        r1, _ = drive_count_window(
+            ReEvalWindowAggregatePlan, spec, values, 4, ["sum", "count"],
+            groups,
+        )
+        r2, _ = drive_count_window(
+            IncrementalWindowAggregatePlan, spec, values, 4,
+            ["sum", "count"], groups,
+        )
+        s1, s2 = sorted(r1, key=str), sorted(r2, key=str)
+        assert len(s1) == len(s2)
+        for a, b in zip(s1, s2):
+            assert a[:2] == b[:2]  # window id, group key
+            for x, y in zip(a[2:], b[2:]):
+                if x is None or y is None:
+                    assert x == y
+                else:
+                    assert math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_grouped_sums(self):
+        values = [1.0, 2.0, 10.0, 20.0]
+        groups = ["a", "a", "b", "b"]
+        rows, _ = drive_count_window(
+            IncrementalWindowAggregatePlan,
+            WindowSpec(WindowMode.COUNT, 4),
+            values, 1, ["sum"], groups,
+        )
+        assert sorted(rows) == [(0, "a", 3.0), (0, "b", 30.0)]
+
+
+def drive_time_window(plan_cls, spec, events, aggs=("sum",)):
+    """events: list of (timestamp, value)."""
+    clock = LogicalClock()
+    inp = Basket("w_in", [("v", AtomType.DBL)], clock)
+    plan = plan_cls("w_in", "v", list(aggs), spec, "w_out")
+    out = Basket("w_out", plan.output_schema(), clock)
+    factory = Factory("w", plan, [InputBinding(inp, ConsumeMode.ALL)], [out])
+    for stamp, value in events:
+        if stamp > clock.now():
+            clock.set(stamp)
+        inp.insert_rows([(value,)], timestamp=stamp)
+        factory.activate()
+    return [r[:-1] for r in out.rows()], plan
+
+
+class TestTimeWindows:
+    def test_tumbling_time(self):
+        events = [(0.5, 1.0), (1.5, 2.0), (2.5, 4.0), (4.2, 8.0)]
+        spec = WindowSpec(WindowMode.TIME, 2.0)
+        rows, _ = drive_time_window(
+            IncrementalWindowAggregatePlan, spec, events
+        )
+        # window 0 = [0,2): 1.0; window 1 = [2,4): 4.0 (closed by the 4.2
+        # watermark)
+        assert rows == [(0, 3.0), (1, 4.0)]
+
+    def test_multi_gap_stream_terminates_and_matches(self):
+        """Regression: a bw sealed across a slot gap used to deadlock the
+        empty-window synthesis loop (sparse streams with several multi-slot
+        gaps).  Both routes must terminate and agree."""
+        events = [(0.5, 1.0), (8.5, 2.0), (16.5, 4.0)]
+        spec = WindowSpec(WindowMode.TIME, 4.0, 2.0)
+        r1, _ = drive_time_window(
+            ReEvalWindowAggregatePlan, spec, events, aggs=("sum", "count")
+        )
+        r2, _ = drive_time_window(
+            IncrementalWindowAggregatePlan, spec, events,
+            aggs=("sum", "count"),
+        )
+        assert r1 == r2
+        assert r1[0] == (0, 1.0, 1)
+        assert (1, None, 0) in r1  # gap windows emitted with NULL sum
+
+    def test_empty_window_emitted_with_nulls(self):
+        events = [(0.5, 1.0), (6.5, 2.0)]
+        spec = WindowSpec(WindowMode.TIME, 2.0)
+        rows, _ = drive_time_window(
+            IncrementalWindowAggregatePlan, spec, events, aggs=("sum", "count")
+        )
+        assert rows[0] == (0, 1.0, 1)
+        assert rows[1] == (1, None, 0), "gap window has NULL sum, 0 count"
+        assert rows[2] == (2, None, 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 30), st.floats(-10, 10)),
+            max_size=50,
+        ),
+        st.sampled_from([(2.0, 1.0), (4.0, 2.0), (3.0, 3.0), (4.0, 1.0)]),
+    )
+    def test_time_routes_equivalent(self, raw_events, window):
+        events = sorted(raw_events)  # in-order arrival
+        size, slide = window
+        spec = WindowSpec(WindowMode.TIME, size, slide)
+        r1, _ = drive_time_window(
+            ReEvalWindowAggregatePlan, spec, events,
+            aggs=("sum", "count", "min", "max"),
+        )
+        r2, _ = drive_time_window(
+            IncrementalWindowAggregatePlan, spec, events,
+            aggs=("sum", "count", "min", "max"),
+        )
+        assert len(r1) == len(r2)
+        for a, b in zip(r1, r2):
+            assert a[0] == b[0]
+            for x, y in zip(a[1:], b[1:]):
+                if x is None or y is None:
+                    assert x == y
+                else:
+                    assert math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestWindowJoin:
+    def drive(self, left_events, right_events, window=2.0):
+        clock = LogicalClock()
+        left = Basket("l", [("k", AtomType.LNG)], clock)
+        right = Basket("r", [("k", AtomType.LNG)], clock)
+        out = Basket(
+            "j_out",
+            [("key", AtomType.LNG), ("left_time", AtomType.TIMESTAMP),
+             ("right_time", AtomType.TIMESTAMP)],
+            clock,
+        )
+        plan = SlidingWindowJoinPlan("l", "r", "k", "k", window, "j_out")
+        f = Factory(
+            "j", plan,
+            [InputBinding(left, ConsumeMode.ALL, min_tuples=0),
+             InputBinding(right, ConsumeMode.ALL, min_tuples=0)],
+            [out],
+        )
+        merged = sorted(
+            [("l", t, k) for t, k in left_events]
+            + [("r", t, k) for t, k in right_events],
+            key=lambda e: e[1],
+        )
+        for side, stamp, key in merged:
+            target = left if side == "l" else right
+            target.insert_rows([(key,)], timestamp=stamp)
+            # activate manually (both inputs may be empty)
+            f.activate()
+        return [r[:3] for r in out.rows()], plan
+
+    def test_matches_within_window(self):
+        rows, _ = self.drive(
+            left_events=[(0.0, 1), (5.0, 1)],
+            right_events=[(1.0, 1)],
+            window=2.0,
+        )
+        assert rows == [(1, 0.0, 1.0)]
+
+    def test_no_cross_key_matches(self):
+        rows, _ = self.drive(
+            left_events=[(0.0, 1)], right_events=[(0.5, 2)], window=5.0
+        )
+        assert rows == []
+
+    def test_symmetric(self):
+        rows, _ = self.drive(
+            left_events=[(1.0, 7)], right_events=[(0.5, 7)], window=1.0
+        )
+        assert rows == [(7, 1.0, 0.5)]
+
+    def test_matches_brute_force(self):
+        import itertools
+        import random
+
+        rng = random.Random(7)
+        left = [(round(rng.uniform(0, 10), 2), rng.randint(1, 3))
+                for _ in range(20)]
+        right = [(round(rng.uniform(0, 10), 2), rng.randint(1, 3))
+                 for _ in range(20)]
+        window = 1.5
+        rows, _ = self.drive(left, right, window)
+        expected = {
+            (lk, lt, rt)
+            for (lt, lk), (rt, rk) in itertools.product(left, right)
+            if lk == rk and abs(lt - rt) <= window
+        }
+        assert set(rows) == expected
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(DataCellError):
+            SlidingWindowJoinPlan("l", "r", "k", "k", 0, "o")

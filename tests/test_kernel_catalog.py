@@ -1,0 +1,161 @@
+"""Unit tests for the catalog: schemas, tables, registration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError, CatalogError
+from repro.kernel.catalog import Catalog, ColumnDef, Schema, Table
+from repro.kernel.bat import BAT, bat_from_values
+from repro.kernel.types import AtomType
+
+
+def sensor_schema():
+    return Schema(
+        [ColumnDef("sensor", AtomType.INT), ColumnDef("temp", AtomType.DBL)]
+    )
+
+
+class TestSchema:
+    def test_ordering_preserved(self):
+        s = sensor_schema()
+        assert s.names() == ["sensor", "temp"]
+
+    def test_case_insensitive_lookup(self):
+        s = sensor_schema()
+        assert s.atom("SENSOR") is AtomType.INT
+        assert s.position("Temp") == 1
+
+    def test_unknown_column(self):
+        with pytest.raises(CatalogError):
+            sensor_schema().atom("nope")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema([ColumnDef("a", AtomType.INT), ColumnDef("A", AtomType.INT)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema([])
+
+    def test_bad_column_name_rejected(self):
+        with pytest.raises(CatalogError):
+            ColumnDef("not a name", AtomType.INT)
+
+    def test_equality(self):
+        assert sensor_schema() == sensor_schema()
+
+
+class TestTable:
+    def test_append_row(self):
+        t = Table("s", sensor_schema())
+        t.append_row([1, 20.5])
+        assert t.count == 1
+        assert t.rows() == [(1, 20.5)]
+
+    def test_append_rows(self):
+        t = Table("s", sensor_schema())
+        assert t.append_rows([(1, 1.0), (2, 2.0)]) == 2
+        assert t.count == 2
+
+    def test_arity_checked(self):
+        t = Table("s", sensor_schema())
+        with pytest.raises(CatalogError):
+            t.append_row([1])
+
+    def test_append_columns(self):
+        t = Table("s", sensor_schema())
+        n = t.append_columns(
+            {
+                "sensor": np.array([1, 2], dtype=np.int32),
+                "temp": np.array([1.0, 2.0]),
+            }
+        )
+        assert n == 2 and t.count == 2
+
+    def test_append_columns_must_cover_schema(self):
+        t = Table("s", sensor_schema())
+        with pytest.raises(CatalogError):
+            t.append_columns({"sensor": np.array([1], dtype=np.int32)})
+
+    def test_append_columns_length_mismatch(self):
+        t = Table("s", sensor_schema())
+        with pytest.raises(CatalogError):
+            t.append_columns(
+                {
+                    "sensor": np.array([1], dtype=np.int32),
+                    "temp": np.array([1.0, 2.0]),
+                }
+            )
+
+    def test_truncate_restarts_oids_at_hseq_end(self):
+        t = Table("s", sensor_schema())
+        t.append_rows([(1, 1.0), (2, 2.0)])
+        removed = t.truncate()
+        assert removed == 2 and t.count == 0
+        assert t.bat("sensor").hseqbase == 2
+
+    def test_alignment_invariant(self):
+        t = Table("s", sensor_schema())
+        t.append_row([1, 1.0])
+        t.check_alignment()
+        # corrupt one column on purpose
+        t.bat("sensor").append(99)
+        with pytest.raises(AlignmentError):
+            t.check_alignment()
+
+    def test_replace_bats(self):
+        t = Table("s", sensor_schema())
+        new = {
+            "sensor": bat_from_values(AtomType.INT, [9]),
+            "temp": bat_from_values(AtomType.DBL, [9.0]),
+        }
+        t.replace_bats(new)
+        assert t.rows() == [(9, 9.0)]
+
+    def test_replace_bats_checks_columns(self):
+        t = Table("s", sensor_schema())
+        with pytest.raises(CatalogError):
+            t.replace_bats({"sensor": bat_from_values(AtomType.INT, [1])})
+
+    def test_rows_limit(self):
+        t = Table("s", sensor_schema())
+        t.append_rows([(i, float(i)) for i in range(5)])
+        assert len(t.rows(limit=2)) == 2
+
+    def test_nulls_roundtrip(self):
+        t = Table("s", sensor_schema())
+        t.append_row([None, None])
+        assert t.rows() == [(None, None)]
+
+
+class TestCatalog:
+    def test_create_and_get(self):
+        cat = Catalog()
+        cat.create_table("s", [("a", AtomType.INT)])
+        assert cat.get("S").name == "s"
+        assert cat.has("s")
+
+    def test_duplicate_rejected(self):
+        cat = Catalog()
+        cat.create_table("s", [("a", AtomType.INT)])
+        with pytest.raises(CatalogError):
+            cat.create_table("S", [("a", AtomType.INT)])
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError):
+            Catalog().get("missing")
+
+    def test_drop(self):
+        cat = Catalog()
+        cat.create_table("s", [("a", AtomType.INT)])
+        cat.drop("s")
+        assert not cat.has("s")
+        with pytest.raises(CatalogError):
+            cat.drop("s")
+
+    def test_baskets_filter(self):
+        cat = Catalog()
+        cat.create_table("t", [("a", AtomType.INT)])
+        cat.create_table("b", [("a", AtomType.INT)], is_basket=True)
+        names = [t.name for t in cat.baskets()]
+        assert names == ["b"]

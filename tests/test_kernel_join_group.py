@@ -1,0 +1,325 @@
+"""Unit and property tests for join, group, aggregate and sort primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import KernelError, TypeMismatchError
+from repro.kernel.aggregate import (
+    AggregateState,
+    grouped_aggregate,
+    scalar_aggregate,
+)
+from repro.kernel.bat import bat_from_values
+from repro.kernel.group import distinct_positions, group, subgroup
+from repro.kernel.join import (
+    cross_positions,
+    hash_join,
+    left_outer_join,
+    projection,
+    theta_join,
+)
+from repro.kernel.sort import order, refine, topn
+from repro.kernel.types import AtomType
+
+
+def ints(values, hseqbase=0):
+    return bat_from_values(AtomType.LNG, values, hseqbase=hseqbase)
+
+
+def strs(values):
+    return bat_from_values(AtomType.STR, values)
+
+
+class TestProjection:
+    def test_fetch_in_candidate_order(self):
+        tail = ints([10, 20, 30])
+        out = projection(np.array([2, 0], dtype=np.int64), tail)
+        assert out.python_list() == [30, 10]
+
+    def test_result_is_dense_from_zero(self):
+        tail = ints([10, 20], hseqbase=5)
+        out = projection(np.array([6], dtype=np.int64), tail)
+        assert out.hseqbase == 0 and out.python_list() == [20]
+
+    def test_empty(self):
+        out = projection(np.empty(0, dtype=np.int64), ints([1]))
+        assert len(out) == 0
+
+
+class TestHashJoin:
+    def test_basic_matches(self):
+        l, r = hash_join(ints([1, 2, 3]), ints([2, 3, 3]))
+        pairs = set(zip(l.tolist(), r.tolist()))
+        assert pairs == {(1, 0), (2, 1), (2, 2)}
+
+    def test_nulls_never_match(self):
+        l, r = hash_join(ints([None, 1]), ints([None, 1]))
+        assert set(zip(l.tolist(), r.tolist())) == {(1, 1)}
+
+    def test_respects_hseqbase(self):
+        l, r = hash_join(ints([7], hseqbase=10), ints([7], hseqbase=20))
+        assert l.tolist() == [10] and r.tolist() == [20]
+
+    def test_string_join(self):
+        l, r = hash_join(strs(["a", "b"]), strs(["b"]))
+        assert set(zip(l.tolist(), r.tolist())) == {(1, 0)}
+
+    def test_type_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            hash_join(strs(["a"]), ints([1]))
+
+    def test_candidates_restrict(self):
+        left = ints([1, 1, 1])
+        right = ints([1])
+        cands = np.array([1], dtype=np.int64)
+        l, r = hash_join(left, right, left_cands=cands)
+        assert l.tolist() == [1]
+
+
+class TestOuterJoin:
+    def test_unmatched_left_gets_minus_one(self):
+        l, r = left_outer_join(ints([1, 9]), ints([1]))
+        assert list(zip(l.tolist(), r.tolist())) == [(0, 0), (1, -1)]
+
+    def test_null_left_is_unmatched(self):
+        l, r = left_outer_join(ints([None]), ints([None, 1]))
+        assert list(zip(l.tolist(), r.tolist())) == [(0, -1)]
+
+
+class TestThetaJoin:
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "!="])
+    def test_matches_nested_loop(self, op):
+        import operator as _op
+
+        fns = {
+            "<": _op.lt, "<=": _op.le, ">": _op.gt, ">=": _op.ge,
+            "!=": _op.ne,
+        }
+        lvals = [1, 3, None, 5]
+        rvals = [2, None, 5]
+        l, r = theta_join(ints(lvals), ints(rvals), op)
+        got = set(zip(l.tolist(), r.tolist()))
+        expect = {
+            (i, j)
+            for i, lv in enumerate(lvals)
+            for j, rv in enumerate(rvals)
+            if lv is not None and rv is not None and fns[op](lv, rv)
+        }
+        assert got == expect
+
+    def test_equality_delegates_to_hash(self):
+        l, r = theta_join(ints([1, 2]), ints([2]), "==")
+        assert set(zip(l.tolist(), r.tolist())) == {(1, 0)}
+
+    def test_bad_op(self):
+        with pytest.raises(KernelError):
+            theta_join(ints([1]), ints([1]), "~=")
+
+
+class TestCross:
+    def test_cross_positions(self):
+        l, r = cross_positions(2, 3)
+        assert len(l) == 6
+        assert set(zip(l.tolist(), r.tolist())) == {
+            (i, j) for i in range(2) for j in range(3)
+        }
+
+
+class TestGroup:
+    def test_single_column(self):
+        groups, extents, n = group(strs(["a", "b", "a"]))
+        assert n == 2
+        assert groups.python_list() == [0, 1, 0]
+        assert extents.tolist() == [0, 1]
+
+    def test_nulls_form_one_group(self):
+        _, _, n = group(ints([None, None, 1]))
+        assert n == 2
+
+    def test_subgroup_refines(self):
+        g1, _, n1 = group(strs(["a", "a", "b", "b"]))
+        g2, extents, n2 = subgroup(ints([1, 2, 1, 1]), g1)
+        assert n2 == 3
+        assert g2.python_list() == [0, 1, 2, 2]
+
+    def test_distinct_positions(self):
+        pos = distinct_positions(ints([5, 5, 7, 5, 7]))
+        assert pos.tolist() == [0, 2]
+
+    def test_group_with_candidates(self):
+        cands = np.array([1, 2], dtype=np.int64)
+        _, _, n = group(ints([1, 2, 2]), cands)
+        assert n == 1
+
+
+class TestScalarAggregates:
+    def test_sum_skips_nulls(self):
+        assert scalar_aggregate("sum", ints([1, None, 2])) == 3
+
+    def test_count_vs_count_star(self):
+        b = ints([1, None])
+        assert scalar_aggregate("count", b) == 1
+        assert scalar_aggregate("count_star", b) == 2
+
+    def test_empty_aggregates_are_null(self):
+        b = ints([])
+        for name in ("sum", "avg", "min", "max"):
+            assert scalar_aggregate(name, b) is None
+        assert scalar_aggregate("count", b) == 0
+
+    def test_avg(self):
+        assert scalar_aggregate("avg", ints([1, 2, 3])) == 2.0
+
+    def test_min_max(self):
+        b = ints([5, None, 1, 9])
+        assert scalar_aggregate("min", b) == 1
+        assert scalar_aggregate("max", b) == 9
+
+    def test_str_min_max(self):
+        b = strs(["pear", "apple", None])
+        assert scalar_aggregate("min", b) == "apple"
+        assert scalar_aggregate("max", b) == "pear"
+
+    def test_str_sum_raises(self):
+        with pytest.raises(TypeMismatchError):
+            scalar_aggregate("sum", strs(["a"]))
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(KernelError):
+            scalar_aggregate("median", ints([1]))
+
+    def test_integral_sum_is_int(self):
+        out = scalar_aggregate("sum", ints([1, 2]))
+        assert isinstance(out, int)
+
+
+class TestGroupedAggregates:
+    def test_subsum(self):
+        keys = strs(["a", "b", "a"])
+        vals = ints([1, 10, 2])
+        groups, _, n = group(keys)
+        out = grouped_aggregate("sum", vals, groups, n)
+        assert out.python_list() == [3, 10]
+
+    def test_subcount_skips_nulls(self):
+        keys = strs(["a", "a"])
+        vals = ints([1, None])
+        groups, _, n = group(keys)
+        assert grouped_aggregate("count", vals, groups, n).python_list() == [1]
+        assert grouped_aggregate(
+            "count_star", vals, groups, n
+        ).python_list() == [2]
+
+    def test_subavg(self):
+        keys = strs(["a", "a", "b"])
+        vals = ints([1, 3, 10])
+        groups, _, n = group(keys)
+        assert grouped_aggregate("avg", vals, groups, n).python_list() == [2.0, 10.0]
+
+    def test_submin_submax(self):
+        keys = strs(["a", "a", "b"])
+        vals = ints([4, 2, 9])
+        groups, _, n = group(keys)
+        assert grouped_aggregate("min", vals, groups, n).python_list() == [2, 9]
+        assert grouped_aggregate("max", vals, groups, n).python_list() == [4, 9]
+
+    def test_all_null_group_yields_null(self):
+        keys = strs(["a", "b"])
+        vals = ints([None, 5])
+        groups, _, n = group(keys)
+        assert grouped_aggregate("sum", vals, groups, n).python_list() == [None, 5]
+
+    def test_str_grouped_min(self):
+        keys = ints([0, 0, 1])
+        vals = strs(["b", "a", "z"])
+        groups, _, n = group(keys)
+        assert grouped_aggregate("min", vals, groups, n).python_list() == ["a", "z"]
+
+    def test_misaligned_groups_raise(self):
+        groups, _, n = group(ints([1, 2]))
+        with pytest.raises(KernelError):
+            grouped_aggregate("sum", ints([1]), groups, n)
+
+
+class TestAggregateState:
+    def test_add_and_result(self):
+        s = AggregateState()
+        for v in (1.0, 5.0, 3.0):
+            s.add_value(v)
+        assert s.result("count") == 3
+        assert s.result("sum") == 9.0
+        assert s.result("avg") == 3.0
+        assert s.result("min") == 1.0
+        assert s.result("max") == 5.0
+
+    def test_empty_results(self):
+        s = AggregateState()
+        assert s.result("count") == 0
+        assert s.result("sum") is None
+        assert s.result("min") is None
+
+    def test_merge_equals_bulk(self):
+        a, b = AggregateState(), AggregateState()
+        a.add_array(np.array([1.0, 2.0]))
+        b.add_array(np.array([10.0]))
+        merged = a.merge(b)
+        ref = AggregateState()
+        ref.add_array(np.array([1.0, 2.0, 10.0]))
+        assert merged.result("sum") == ref.result("sum")
+        assert merged.result("min") == ref.result("min")
+        assert merged.result("max") == ref.result("max")
+        assert merged.result("count") == ref.result("count")
+
+    @given(
+        st.lists(st.floats(-100, 100), max_size=50),
+        st.lists(st.floats(-100, 100), max_size=50),
+    )
+    def test_merge_commutes(self, left, right):
+        a, b = AggregateState(), AggregateState()
+        a.add_array(np.asarray(left))
+        b.add_array(np.asarray(right))
+        ab, ba = a.merge(b), b.merge(a)
+        for name in ("count", "min", "max"):
+            assert ab.result(name) == ba.result(name)
+        if ab.count:
+            assert abs(ab.result("sum") - ba.result("sum")) < 1e-9
+
+
+class TestSort:
+    def test_ascending_stable(self):
+        b = ints([3, 1, 2, 1])
+        assert order(b).tolist() == [1, 3, 2, 0]
+
+    def test_descending(self):
+        b = ints([3, 1, 2])
+        assert order(b, descending=True).tolist() == [0, 2, 1]
+
+    def test_nulls_first_ascending(self):
+        b = ints([3, None, 1])
+        assert order(b).tolist() == [1, 2, 0]
+
+    def test_refine_secondary_key(self):
+        first = strs(["b", "a", "a"])
+        second = ints([9, 2, 1])
+        primary = order(first)
+        final = refine(second, primary)
+        # 'a' rows sorted by second key, then 'b'
+        assert final.tolist() == [2, 1, 0]
+
+    def test_topn(self):
+        b = ints([5, 1, 4, 2])
+        assert topn(b, 2).tolist() == [1, 3]
+        assert topn(b, 2, descending=True).tolist() == [0, 2]
+
+    def test_string_sort(self):
+        b = strs(["pear", None, "apple"])
+        assert order(b).tolist() == [1, 2, 0]
+
+    @given(st.lists(st.integers(-100, 100), max_size=80))
+    def test_order_matches_sorted(self, values):
+        b = ints(values)
+        perm = order(b)
+        got = [values[i] for i in perm.tolist()]
+        assert got == sorted(values)

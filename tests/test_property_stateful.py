@@ -1,0 +1,214 @@
+"""Model-based (stateful) property tests.
+
+Hypothesis drives random operation sequences against a basket (and its
+shared-reader protocol), checking after every step that the real
+implementation agrees with a trivially correct python model.  This is the
+strongest guard on the DataCell's central data structure: consumption,
+cursors, GC, and shedding interact in ways unit tests undersample.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.basket import Basket
+from repro.core.clock import LogicalClock
+from repro.kernel.types import AtomType
+
+
+class BasketModel(RuleBasedStateMachine):
+    """Random ingest/consume/read sequences vs a list-of-rows model."""
+
+    def __init__(self):
+        super().__init__()
+        self.clock = LogicalClock()
+        self.basket = Basket("m", [("v", AtomType.INT)], self.clock)
+        # model: list of (seq, value); reader cursors
+        self.model = []
+        self.next_seq = 0
+        self.cursors = {}
+        self.reader_counter = 0
+
+    # ------------------------------------------------------------------
+    @rule(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=8))
+    def insert(self, values):
+        self.basket.insert_rows([(v,) for v in values])
+        for v in values:
+            self.model.append((self.next_seq, v))
+            self.next_seq += 1
+
+    @rule()
+    def consume_all(self):
+        removed = self.basket.consume_all()
+        assert removed == len(self.model)
+        self.model = []
+
+    @rule(data=st.data())
+    def consume_some(self, data):
+        if not self.model:
+            return
+        chosen = data.draw(
+            st.lists(
+                st.sampled_from([seq for seq, _ in self.model]),
+                unique=True,
+                max_size=5,
+            )
+        )
+        removed = self.basket.consume_seqs(np.asarray(chosen, dtype=np.int64))
+        assert removed == len(chosen)
+        dead = set(chosen)
+        self.model = [(s, v) for s, v in self.model if s not in dead]
+
+    @rule()
+    def add_reader(self):
+        name = f"r{self.reader_counter}"
+        self.reader_counter += 1
+        self.basket.register_reader(name)
+        first = self.model[0][0] if self.model else self.next_seq
+        self.cursors[name] = first - 1
+
+    @rule(data=st.data())
+    def reader_reads_and_advances(self, data):
+        if not self.cursors:
+            return
+        name = data.draw(st.sampled_from(sorted(self.cursors)))
+        snap = self.basket.read_new(name)
+        expected = [
+            (s, v) for s, v in self.model if s > self.cursors[name]
+        ]
+        assert snap.count == len(expected)
+        assert [int(s) for s in snap.seqs] == [s for s, _ in expected]
+        assert snap.column("v").python_list() == [v for _, v in expected]
+        if snap.count:
+            upto = int(snap.seqs.max())
+            self.basket.advance_reader(name, upto)
+            self.cursors[name] = max(self.cursors[name], upto)
+
+    @rule()
+    def gc(self):
+        removed = self.basket.gc_shared()
+        if self.cursors:
+            low = min(self.cursors.values())
+            survivors = [(s, v) for s, v in self.model if s > low]
+            assert removed == len(self.model) - len(survivors)
+            self.model = survivors
+        else:
+            assert removed == 0
+
+    @rule(data=st.data())
+    def drop_reader(self, data):
+        if not self.cursors:
+            return
+        name = data.draw(st.sampled_from(sorted(self.cursors)))
+        self.basket.unregister_reader(name)
+        del self.cursors[name]
+        # unregistering GCs at the new low-water mark
+        if self.cursors:
+            low = min(self.cursors.values())
+            self.model = [(s, v) for s, v in self.model if s > low]
+        # with no readers left, nothing is removed
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def counts_agree(self):
+        assert self.basket.count == len(self.model)
+
+    @invariant()
+    def contents_agree(self):
+        got = [r[0] for r in self.basket.rows()]
+        assert got == [v for _, v in self.model]
+
+    @invariant()
+    def conservation(self):
+        assert (
+            self.basket.total_in
+            == self.basket.count
+            + self.basket.total_out
+            + self.basket.total_shed
+        )
+
+    @invariant()
+    def alignment_holds(self):
+        self.basket.check_alignment()
+
+
+BasketModelTest = BasketModel.TestCase
+BasketModelTest.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+
+
+class SchedulerNetworkModel(RuleBasedStateMachine):
+    """A random chain network never loses or duplicates tuples."""
+
+    def __init__(self):
+        super().__init__()
+        from repro.core.factory import (
+            CallablePlan,
+            ConsumeMode,
+            Factory,
+            InputBinding,
+        )
+        from repro.core.scheduler import Scheduler
+        from repro.kernel.mal import ResultSet
+
+        self.clock = LogicalClock()
+        self.stages = [
+            Basket(f"s{i}", [("v", AtomType.INT)], self.clock)
+            for i in range(4)
+        ]
+        self.scheduler = Scheduler()
+        for i in range(3):
+            src, dst = self.stages[i], self.stages[i + 1]
+
+            def make_plan(src_name, dst_name):
+                def plan(snaps):
+                    snap = snaps[src_name]
+                    if snap.count == 0:
+                        return None
+                    return {
+                        dst_name: ResultSet(
+                            ["v"], [snap.column("v")]
+                        )
+                    }
+
+                return plan
+
+            self.scheduler.register(
+                Factory(
+                    f"f{i}",
+                    CallablePlan(make_plan(src.name, dst.name)),
+                    [InputBinding(src, ConsumeMode.ALL)],
+                    [dst],
+                )
+            )
+        self.pushed = 0
+
+    @rule(values=st.lists(st.integers(0, 100), min_size=1, max_size=10))
+    def push(self, values):
+        self.stages[0].insert_rows([(v,) for v in values])
+        self.pushed += len(values)
+
+    @rule()
+    def drain(self):
+        self.scheduler.run_until_quiescent()
+
+    @invariant()
+    def no_tuple_lost(self):
+        in_flight = sum(stage.count for stage in self.stages)
+        delivered = self.stages[-1].total_in
+        buffered_early = sum(s.count for s in self.stages[:-1])
+        # every pushed tuple is either still flowing or reached the sink
+        assert delivered + buffered_early == self.pushed
+
+
+SchedulerNetworkTest = SchedulerNetworkModel.TestCase
+SchedulerNetworkTest.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)

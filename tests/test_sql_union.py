@@ -1,0 +1,62 @@
+"""Tests for UNION / UNION ALL."""
+
+import pytest
+
+from repro import DataCell, LogicalClock
+from repro.errors import BindError, SqlError
+
+
+@pytest.fixture
+def cell():
+    c = DataCell(clock=LogicalClock())
+    c.execute("create table a (x int, s varchar(5))")
+    c.execute("create table b (x int, s varchar(5))")
+    c.execute("insert into a values (1, 'p'), (2, 'q'), (2, 'q')")
+    c.execute("insert into b values (2, 'q'), (3, 'r')")
+    return c
+
+
+class TestUnion:
+    def test_union_all_concatenates(self, cell):
+        rows = cell.query("select x, s from a union all select x, s from b")
+        assert rows == [
+            (1, "p"), (2, "q"), (2, "q"), (2, "q"), (3, "r"),
+        ]
+
+    def test_union_dedupes(self, cell):
+        rows = cell.query("select x, s from a union select x, s from b")
+        assert sorted(rows) == [(1, "p"), (2, "q"), (3, "r")]
+
+    def test_three_member_chain(self, cell):
+        rows = cell.query(
+            "select x from a union all select x from b "
+            "union all select x from a"
+        )
+        assert len(rows) == 8
+
+    def test_numeric_widening(self, cell):
+        cell.execute("create table c (x double)")
+        cell.execute("insert into c values (9.5)")
+        rows = cell.query("select x from a union all select x from c")
+        assert (9.5,) in rows
+        assert (1.0,) in rows
+
+    def test_arity_mismatch_rejected(self, cell):
+        with pytest.raises(BindError):
+            cell.query("select x, s from a union all select x from b")
+
+    def test_type_mismatch_rejected(self, cell):
+        with pytest.raises(Exception):
+            cell.query("select s from a union all select x from b")
+
+    def test_members_can_filter_and_aggregate(self, cell):
+        rows = cell.query(
+            "select count(*) from a union all select count(*) from b"
+        )
+        assert sorted(rows) == [(2,), (3,)]
+
+    def test_union_with_where(self, cell):
+        rows = cell.query(
+            "select x from a where x > 1 union select x from b where x < 3"
+        )
+        assert sorted(rows) == [(2,)]

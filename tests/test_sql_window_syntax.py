@@ -1,0 +1,170 @@
+"""Tests for the WINDOW n [SLIDE m] language extension (§3.1 as syntax)."""
+
+import pytest
+
+from repro import DataCell, LogicalClock
+from repro.errors import SqlError, SqlSyntaxError
+from repro.sql.parser import parse_select
+
+
+@pytest.fixture
+def cell():
+    c = DataCell(clock=LogicalClock())
+    c.execute("create basket ticks (sym varchar(5), price double)")
+    return c
+
+
+def feed(cell, n=8):
+    for i in range(n):
+        cell.insert("ticks", [("A" if i % 2 else "B", float(i))])
+    cell.run_until_quiescent()
+
+
+class TestParsing:
+    def test_window_clause(self):
+        s = parse_select(
+            "select avg(p) from [select * from b] as x window 10 slide 5"
+        )
+        assert s.window == 10 and s.window_slide == 5
+
+    def test_window_without_slide_is_tumbling(self):
+        s = parse_select("select avg(p) from [select * from b] as x window 10")
+        assert s.window == 10 and s.window_slide is None
+
+    def test_window_requires_positive_number(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("select avg(p) from [select * from b] as x window 0")
+
+    def test_fractional_count_window_rejected_at_submit(self):
+        from repro import DataCell, LogicalClock
+        from repro.errors import DataCellError
+
+        cell = DataCell(clock=LogicalClock())
+        cell.execute("create basket b (p double)")
+        with pytest.raises(DataCellError):
+            cell.submit_continuous(
+                "select avg(x.p) from [select * from b] as x window 2.5"
+            )
+
+    def test_window_still_usable_as_identifier(self):
+        s = parse_select("select window from t")
+        assert s.window is None
+
+    def test_time_window_clause(self):
+        s = parse_select(
+            "select avg(p) from [select * from b] as x "
+            "window 10 seconds slide 5 seconds"
+        )
+        assert s.window == 10 and s.window_slide == 5 and s.window_time
+
+    def test_time_window_fractional(self):
+        s = parse_select(
+            "select avg(p) from [select * from b] as x window 2.5 seconds"
+        )
+        assert s.window == 2.5 and s.window_time
+
+    def test_mismatched_units_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select(
+                "select avg(p) from [select * from b] as x "
+                "window 10 slide 5 seconds"
+            )
+
+
+class TestExecution:
+    def test_tumbling_aggregate(self, cell):
+        q = cell.submit_continuous(
+            "select sum(x.price) from [select * from ticks] as x window 4"
+        )
+        feed(cell)
+        assert q.fetch() == [(0, 6.0), (1, 22.0)]
+
+    def test_sliding_multiple_aggregates(self, cell):
+        q = cell.submit_continuous(
+            "select avg(x.price), max(x.price) from "
+            "[select * from ticks] as x window 4 slide 2"
+        )
+        feed(cell)
+        assert q.fetch() == [(0, 1.5, 3.0), (1, 3.5, 5.0), (2, 5.5, 7.0)]
+
+    def test_count_star(self, cell):
+        q = cell.submit_continuous(
+            "select count(*) from [select * from ticks] as x window 3"
+        )
+        feed(cell, 7)
+        assert q.fetch() == [(0, 3), (1, 3)]
+
+    def test_grouped_window(self, cell):
+        q = cell.submit_continuous(
+            "select x.sym, sum(x.price) from [select * from ticks] as x "
+            "group by x.sym window 4"
+        )
+        feed(cell)
+        assert sorted(q.fetch()) == [
+            (0, "A", 4.0), (0, "B", 2.0), (1, "A", 12.0), (1, "B", 10.0),
+        ]
+
+    def test_time_window_execution(self, cell):
+        q = cell.submit_continuous(
+            "select sum(x.price) from [select * from ticks] as x "
+            "window 2 seconds"
+        )
+        for i in range(8):
+            cell.clock.set(float(i) * 0.5)
+            cell.insert("ticks", [("A", float(i))])
+            cell.run_until_quiescent()
+        # windows [0,2): t=0,0.5,1.0,1.5 -> 0+1+2+3
+        assert q.fetch() == [(0, 6.0)]
+
+    def test_stream_fully_consumed(self, cell):
+        cell.submit_continuous(
+            "select sum(x.price) from [select * from ticks] as x window 4"
+        )
+        feed(cell)
+        assert cell.basket("ticks").count == 0
+
+
+class TestValidation:
+    def test_requires_basket_expression(self, cell):
+        cell.execute("create table plain (p double)")
+        with pytest.raises(SqlError):
+            cell.submit_continuous(
+                "select avg(p) from plain as x window 4"
+            )
+
+    def test_rejects_inner_where(self, cell):
+        with pytest.raises(SqlError):
+            cell.submit_continuous(
+                "select avg(x.price) from "
+                "[select * from ticks where ticks.price > 1] as x window 4"
+            )
+
+    def test_rejects_non_aggregate_items(self, cell):
+        with pytest.raises(SqlError):
+            cell.submit_continuous(
+                "select x.price from [select * from ticks] as x window 4"
+            )
+
+    def test_rejects_mixed_value_columns(self, cell):
+        cell.execute("create basket two (a double, b double)")
+        with pytest.raises(SqlError):
+            cell.submit_continuous(
+                "select sum(x.a), sum(x.b) from [select * from two] as x "
+                "window 4"
+            )
+
+    def test_rejects_order_by(self, cell):
+        with pytest.raises(SqlError):
+            cell.submit_continuous(
+                "select avg(x.price) from [select * from ticks] as x "
+                "order by 1 window 4"
+            )
+
+    def test_group_key_in_select_list_allowed(self, cell):
+        q = cell.submit_continuous(
+            "select x.sym, count(*) from [select * from ticks] as x "
+            "group by x.sym window 2"
+        )
+        feed(cell, 4)
+        assert sorted(q.fetch()) == [(0, "A", 1), (0, "B", 1),
+                                     (1, "A", 1), (1, "B", 1)]
