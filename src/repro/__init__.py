@@ -24,13 +24,14 @@ claims reproduced by the benchmark suite.
 """
 
 from .core.basket import Basket
-from .core.clock import LogicalClock, WallClock
+from .core.clock import LogicalClock, MonotonicClock, WallClock
 from .core.continuous import ContinuousQuery
 from .core.engine import DataCell
 from .core.factory import CallablePlan, ConsumeMode, Factory, InputBinding
 from .core.scheduler import Scheduler
 from .core.windows import WindowMode, WindowSpec
 from .kernel import AtomType, BAT, Catalog, ResultSet, Table
+from .obs import MetricsRegistry, TraceLog
 
 __all__ = [
     "DataCell",
@@ -41,9 +42,12 @@ __all__ = [
     "ConsumeMode",
     "InputBinding",
     "Scheduler",
+    "MetricsRegistry",
+    "TraceLog",
     "WindowSpec",
     "WindowMode",
     "LogicalClock",
+    "MonotonicClock",
     "WallClock",
     "AtomType",
     "BAT",

@@ -1,6 +1,6 @@
 """Benchmark-harness helpers shared by benchmarks/bench_*.py."""
 
-from .reporting import print_table, record_result
+from .reporting import format_table, print_table, record_result
 from .runner import (
     Measurement,
     PipelineFixture,
@@ -13,6 +13,7 @@ __all__ = [
     "PipelineFixture",
     "build_figure1_pipeline",
     "run_stream_through",
+    "format_table",
     "print_table",
     "record_result",
 ]

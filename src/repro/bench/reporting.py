@@ -3,30 +3,32 @@
 Benches print the same rows/series the paper's claims imply, in aligned
 text tables, and append structured records to ``benchmarks/results.json``
 so EXPERIMENTS.md can be regenerated from actual runs.
+
+:func:`format_table` is the shared renderer; the observability dashboard
+(:mod:`repro.obs.dashboard`) reuses it so engine stats and bench output
+read the same.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, List, Optional, Sequence
+import pathlib
+from typing import Any, Dict, Optional, Sequence
 
-__all__ = ["print_table", "record_result", "RESULTS_PATH"]
+__all__ = ["format_table", "print_table", "record_result", "RESULTS_PATH"]
 
-RESULTS_PATH = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
-        os.path.abspath(__file__))))),
-    "benchmarks",
-    "results.json",
+RESULTS_PATH = str(
+    pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results.json"
 )
 
 
-def print_table(
+def format_table(
     title: str,
     headers: Sequence[str],
     rows: Sequence[Sequence[Any]],
-) -> None:
-    """Print an aligned text table (the bench's paper-shaped output)."""
+) -> str:
+    """Render an aligned text table (the bench's paper-shaped output)."""
     rendered = [[_fmt(cell) for cell in row] for row in rows]
     widths = [
         max(len(str(headers[i])), *(len(r[i]) for r in rendered))
@@ -35,11 +37,18 @@ def print_table(
         for i in range(len(headers))
     ]
     line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
-    print(f"\n== {title} ==")
-    print(line)
-    print("-" * len(line))
+    out = [f"== {title} ==", line, "-" * len(line)]
     for row in rendered:
-        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        out.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> None:
+    print("\n" + format_table(title, headers, rows))
 
 
 def _fmt(cell: Any) -> str:
@@ -54,16 +63,27 @@ def _fmt(cell: Any) -> str:
     return str(cell)
 
 
-def record_result(experiment: str, payload: Dict[str, Any]) -> None:
-    """Append one experiment record to benchmarks/results.json."""
+def record_result(
+    experiment: str,
+    payload: Dict[str, Any],
+    path: Optional[str] = None,
+) -> None:
+    """Append one experiment record to ``benchmarks/results.json``.
+
+    Write-temp-then-rename so concurrent benchmark runs never leave a
+    torn/half-written file behind; last writer wins per experiment key.
+    """
+    target = path or RESULTS_PATH
     data: Dict[str, Any] = {}
-    if os.path.exists(RESULTS_PATH):
+    if os.path.exists(target):
         try:
-            with open(RESULTS_PATH) as handle:
+            with open(target) as handle:
                 data = json.load(handle)
         except (OSError, ValueError):
             data = {}
     data[experiment] = payload
-    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
-    with open(RESULTS_PATH, "w") as handle:
+    os.makedirs(os.path.dirname(target), exist_ok=True)
+    tmp = f"{target}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
+    os.replace(tmp, target)

@@ -22,6 +22,7 @@ from ..core.receptor import Receptor
 from ..core.scheduler import Scheduler
 from ..core.strategies import RangeQuery, SelectPlan
 from ..kernel.types import AtomType
+from ..obs.metrics import MetricsRegistry
 
 __all__ = [
     "PipelineFixture",
@@ -58,30 +59,43 @@ class PipelineFixture:
     scheduler: Scheduler
     input_basket: Basket
     output_basket: Basket
+    metrics: MetricsRegistry
 
 
 def build_figure1_pipeline(
     low: float = 100.0,
     high: float = 200.0,
     batch_size: int = 1024,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> PipelineFixture:
-    """Receptor -> B1 -> select factory -> B2 -> emitter."""
+    """Receptor -> B1 -> select factory -> B2 -> emitter.
+
+    Every component shares one private registry so a bench can read the
+    pipeline's true counters instead of re-deriving them; pass
+    ``MetricsRegistry(enabled=False)`` to measure the no-op overhead.
+    """
     clock = LogicalClock()
-    b1 = Basket("b1", [("v", AtomType.INT)], clock)
-    b2 = Basket("b2", [("v", AtomType.INT)], clock)
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    b1 = Basket("b1", [("v", AtomType.INT)], clock, metrics=metrics)
+    b2 = Basket("b2", [("v", AtomType.INT)], clock, metrics=metrics)
     channel = InMemoryChannel("stream")
-    receptor = Receptor("r", channel, [b1], batch_size=batch_size)
+    receptor = Receptor(
+        "r", channel, [b1], batch_size=batch_size, metrics=metrics
+    )
     plan = SelectPlan(RangeQuery("q", "v", low, high), "b1", "b2")
-    factory = Factory("q", plan, [InputBinding(b1, ConsumeMode.ALL)], [b2])
+    factory = Factory(
+        "q", plan, [InputBinding(b1, ConsumeMode.ALL)], [b2],
+        metrics=metrics,
+    )
     client = CollectingClient()
-    emitter = Emitter("e", b2)
+    emitter = Emitter("e", b2, metrics=metrics)
     emitter.subscribe(client)
-    scheduler = Scheduler()
+    scheduler = Scheduler(metrics=metrics)
     for transition in (receptor, factory, emitter):
         scheduler.register(transition)
     return PipelineFixture(
         clock, channel, receptor, factory, emitter, client, scheduler,
-        b1, b2,
+        b1, b2, metrics,
     )
 
 
@@ -97,9 +111,14 @@ def run_stream_through(
             fixture.channel.push(row)
         fixture.scheduler.run_until_quiescent()
     elapsed = time.perf_counter() - started
+    delivered = fixture.metrics.value(
+        "datacell_emitter_delivered_total", ("e",)
+    )
+    if delivered is None:  # registry disabled: fall back to the client
+        delivered = float(len(fixture.client.rows))
     return Measurement(
         label=f"batch={batch_size}",
         wall_seconds=elapsed,
         tuples=len(rows),
-        extra={"delivered": float(len(fixture.client.rows))},
+        extra={"delivered": delivered},
     )

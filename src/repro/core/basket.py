@@ -27,6 +27,7 @@ Implementation notes
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,6 +37,7 @@ from ..kernel.bat import BAT, bat_from_values
 from ..kernel.catalog import ColumnDef, Schema, Table
 from ..kernel.mal import ResultSet
 from ..kernel.types import AtomType
+from ..obs.metrics import MetricsRegistry, default_registry
 from .clock import Clock, WallClock
 
 __all__ = ["Basket", "BasketSnapshot", "TIME_COLUMN"]
@@ -57,10 +59,24 @@ class BasketSnapshot:
         names: Sequence[str],
         bats: Sequence[BAT],
         seqs: np.ndarray,
+        monos: Optional[np.ndarray] = None,
     ):
         self.names = list(names)
         self.bats = list(bats)
         self.seqs = seqs
+        self._monos = monos
+
+    @property
+    def monos(self) -> np.ndarray:
+        """Hidden monotonic arrival stamps (same positions as ``seqs``).
+
+        The end-to-end latency plumbing — never user-visible.  Baskets
+        with stamping disabled (no-op metrics) produce snapshots without
+        stamps; those materialize as "now" lazily, only if read.
+        """
+        if self._monos is None:
+            self._monos = np.full(len(self.seqs), time.monotonic())
+        return self._monos
 
     @property
     def count(self) -> int:
@@ -91,6 +107,7 @@ class Basket(Table):
         name: str,
         columns: Sequence[Tuple[str, AtomType]],
         clock: Optional[Clock] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if any(col[0].lower() in (TIME_COLUMN, "dc_seq") for col in columns):
             raise BasketError(
@@ -101,6 +118,10 @@ class Basket(Table):
         super().__init__(name, Schema(defs), is_basket=True)
         self.clock = clock or WallClock()
         self._seq = BAT(AtomType.LNG)
+        # hidden monotonic arrival stamps, aligned with ``_seq``: latency
+        # measurement must survive wall-clock jumps, so ``dc_time`` (wall)
+        # is user-facing and this column feeds the histograms
+        self._mono = BAT(AtomType.DBL)
         self._next_seq = 0
         self.min_count = 1  # scheduler firing threshold (paper §2.4)
         self.capacity: Optional[int] = None  # load-shedding high watermark
@@ -109,6 +130,44 @@ class Basket(Table):
         self.total_in = 0
         self.total_out = 0
         self.total_shed = 0
+        self.high_water = 0
+        self.metrics = metrics if metrics is not None else default_registry()
+        # latency stamping is skipped entirely in no-op mode: nothing
+        # reads the stamps when every histogram is a null instrument
+        self._stamping = self.metrics.enabled
+        self._m_in = self.metrics.counter(
+            "datacell_basket_inserted_total",
+            "Tuples inserted into the basket",
+            ("basket",),
+        ).labels(name)
+        self._m_out = self.metrics.counter(
+            "datacell_basket_consumed_total",
+            "Tuples removed from the basket by consumption",
+            ("basket",),
+        ).labels(name)
+        self._m_shed = self.metrics.counter(
+            "datacell_basket_shed_total",
+            "Tuples dropped by load shedding",
+            ("basket",),
+        ).labels(name)
+        self._m_depth = self.metrics.gauge(
+            "datacell_basket_depth",
+            "Tuples currently buffered",
+            ("basket",),
+        ).labels(name)
+        self._m_hwm = self.metrics.gauge(
+            "datacell_basket_high_water",
+            "Maximum depth ever observed",
+            ("basket",),
+        ).labels(name)
+
+    def _record_depth(self) -> None:
+        """Refresh depth/high-water instruments (call under ``self.lock``)."""
+        depth = self.count
+        if depth > self.high_water:
+            self.high_water = depth
+        self._m_depth.set(depth)
+        self._m_hwm.set_max(depth)
 
     # ------------------------------------------------------------------
     # schema helpers
@@ -149,12 +208,16 @@ class Basket(Table):
                 self.bat(col.name).append_many(values)
             n = len(rows)
             self.bat(TIME_COLUMN).append_array(np.full(n, stamp))
+            if self._stamping:
+                self._mono.append_array(np.full(n, time.monotonic()))
             self._seq.append_array(
                 np.arange(self._next_seq, self._next_seq + n, dtype=np.int64)
             )
             self._next_seq += n
             self.total_in += n
+            self._m_in.inc(n)
             shed = self._shed_if_over_capacity()
+            self._record_depth()
         return len(rows) - shed
 
     def insert_columns(
@@ -183,12 +246,16 @@ class Basket(Table):
             for name, values in columns.items():
                 self.bat(name).append_array(np.asarray(values))
             self.bat(TIME_COLUMN).append_array(np.full(n, stamp))
+            if self._stamping:
+                self._mono.append_array(np.full(n, time.monotonic()))
             self._seq.append_array(
                 np.arange(self._next_seq, self._next_seq + n, dtype=np.int64)
             )
             self._next_seq += n
             self.total_in += n
+            self._m_in.inc(n)
             shed = self._shed_if_over_capacity()
+            self._record_depth()
         return n - shed
 
     def _shed_if_over_capacity(self) -> int:
@@ -198,6 +265,7 @@ class Basket(Table):
         overflow = self.count - self.capacity
         self._rebuild_keeping(np.arange(overflow, self.count, dtype=np.int64))
         self.total_shed += overflow
+        self._m_shed.inc(overflow)
         return overflow
 
     # ------------------------------------------------------------------
@@ -220,7 +288,10 @@ class Basket(Table):
                 self.bat(c.name).take_positions(positions, hseqbase=0)
                 for c in self.schema
             ]
-            return BasketSnapshot(names, bats, seqs[positions])
+            monos = (
+                self._mono.tail[positions].copy() if self._stamping else None
+            )
+            return BasketSnapshot(names, bats, seqs[positions], monos)
 
     def consume_all(self) -> int:
         """Remove every tuple (the bulk ``basket.empty`` of Algorithm 1)."""
@@ -228,6 +299,8 @@ class Basket(Table):
             removed = self.count
             self._rebuild_keeping(np.empty(0, dtype=np.int64))
             self.total_out += removed
+            self._m_out.inc(removed)
+            self._record_depth()
             return removed
 
     def consume_seqs(self, seqs: np.ndarray) -> int:
@@ -245,6 +318,8 @@ class Basket(Table):
             removed = self.count - len(keep)
             self._rebuild_keeping(keep)
             self.total_out += removed
+            self._m_out.inc(removed)
+            self._record_depth()
             return removed
 
     def _rebuild_keeping(self, positions: np.ndarray) -> None:
@@ -256,6 +331,8 @@ class Basket(Table):
                 positions, hseqbase=0
             )
         self._seq = self._seq.take_positions(positions, hseqbase=0)
+        if self._stamping:
+            self._mono = self._mono.take_positions(positions, hseqbase=0)
         self.replace_bats(new_bats)
 
     def truncate(self) -> int:
@@ -264,6 +341,8 @@ class Basket(Table):
             removed = self.count
             self._rebuild_keeping(np.empty(0, dtype=np.int64))
             self.total_out += removed
+            self._m_out.inc(removed)
+            self._record_depth()
             return removed
 
     def frontier_seq(self) -> int:
@@ -343,11 +422,25 @@ class Basket(Table):
             if removed:
                 self._rebuild_keeping(keep)
                 self.total_out += removed
+                self._m_out.inc(removed)
+                self._record_depth()
             return removed
 
     # ------------------------------------------------------------------
-    def append_result(self, result: ResultSet, timestamp: Optional[float] = None) -> int:
-        """Append a factory's result set (user columns) to this basket."""
+    def append_result(
+        self,
+        result: ResultSet,
+        timestamp: Optional[float] = None,
+        mono: Optional[float] = None,
+    ) -> int:
+        """Append a factory's result set (user columns) to this basket.
+
+        ``mono`` is the monotonic *origin* stamp to credit the appended
+        tuples with: factories pass the earliest arrival stamp of the
+        inputs that produced this result, so insert→emit latency survives
+        through intermediate baskets.  ``None`` stamps "now" (tuples born
+        here).
+        """
         rows_added = result.count
         if rows_added == 0:
             return 0
@@ -367,6 +460,11 @@ class Basket(Table):
                 self.bat(TIME_COLUMN).append_array(
                     np.full(rows_added, stamp)
                 )
+            if self._stamping:
+                mono_stamp = (
+                    time.monotonic() if mono is None else float(mono)
+                )
+                self._mono.append_array(np.full(rows_added, mono_stamp))
             self._seq.append_array(
                 np.arange(
                     self._next_seq, self._next_seq + rows_added, dtype=np.int64
@@ -374,7 +472,9 @@ class Basket(Table):
             )
             self._next_seq += rows_added
             self.total_in += rows_added
+            self._m_in.inc(rows_added)
             self._shed_if_over_capacity()
+            self._record_depth()
         return rows_added
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -11,7 +11,7 @@ from __future__ import annotations
 import threading
 import time
 
-__all__ = ["Clock", "WallClock", "LogicalClock"]
+__all__ = ["Clock", "WallClock", "MonotonicClock", "LogicalClock"]
 
 
 class Clock:
@@ -22,10 +22,27 @@ class Clock:
 
 
 class WallClock(Clock):
-    """Real time (``time.time``)."""
+    """Real time (``time.time``) — user-facing timestamps.
+
+    Wall time can jump (NTP slew, DST, manual adjustment), so latency
+    measurements must never subtract two wall stamps; the engine stamps a
+    hidden ``time.monotonic()`` value alongside ``dc_time`` for that (see
+    ``Basket`` and ``docs/observability.md``).
+    """
 
     def now(self) -> float:
         return time.time()
+
+
+class MonotonicClock(Clock):
+    """Monotonic time (``time.monotonic``) — jump-free interval stamping.
+
+    Use as a basket clock when ``dc_time`` itself should be safe to
+    subtract (the stamps are then meaningless as wall-clock times).
+    """
+
+    def now(self) -> float:
+        return time.monotonic()
 
 
 class LogicalClock(Clock):

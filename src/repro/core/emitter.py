@@ -13,6 +13,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..adapters.channels import Channel, format_tuple
 from ..errors import AdapterError
+from ..obs.metrics import MetricsRegistry, default_registry
 from .basket import Basket, TIME_COLUMN
 from .factory import ActivationResult
 
@@ -49,6 +50,7 @@ class Emitter:
         source: Basket,
         include_time: bool = False,
         batch_size: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.name = name
         self.source = source
@@ -59,6 +61,20 @@ class Emitter:
         self._channels: List[Channel] = []
         self.total_delivered = 0
         self.activations = 0
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_delivered = self.metrics.counter(
+            "datacell_emitter_delivered_total",
+            "Result rows delivered to subscribers",
+            ("emitter",),
+        ).labels(name)
+        # labeled by the source basket: a continuous query's end-to-end
+        # latency lives on its output basket (``<query>_out``)
+        self._m_latency = self.metrics.histogram(
+            "datacell_query_latency_seconds",
+            "Monotonic insert-to-emit latency of delivered tuples",
+            ("query",),
+        ).labels(source.name)
+        self._measure_latency = self.metrics.enabled
 
     # ------------------------------------------------------------------
     def subscribe(self, client: ClientCallback) -> None:
@@ -90,8 +106,15 @@ class Emitter:
         for channel in self._channels:
             for row in rows:
                 channel.push(format_tuple(row))
+        if snapshot.count and self._measure_latency:
+            # insert→emit latency: monotonic now minus each tuple's
+            # (propagated) monotonic origin stamp — immune to wall jumps
+            self._m_latency.observe_many(
+                time.monotonic() - snapshot.monos
+            )
         self.activations += 1
         self.total_delivered += len(rows)
+        self._m_delivered.inc(len(rows))
         return ActivationResult(
             fired=True,
             tuples_in=snapshot.count,

@@ -27,6 +27,9 @@ from ..kernel.catalog import Catalog, Table
 from ..kernel.interpreter import MalInterpreter
 from ..kernel.mal import ResultSet
 from ..kernel.types import AtomType
+from ..obs.dashboard import render_dashboard
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import TraceLog
 from ..sql.ast_nodes import (
     CreateBasket,
     CreateTable,
@@ -72,11 +75,20 @@ class DataCell:
         self,
         clock: Optional[Clock] = None,
         scheduler: Optional[Scheduler] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceLog] = None,
     ):
         self.clock = clock or WallClock()
         self.catalog = Catalog()
-        self.interpreter = MalInterpreter(self.catalog)
-        self.scheduler = scheduler or Scheduler()
+        # every component this cell creates publishes into one registry
+        # and one trace ring, so stats()/render_dashboard() see the whole
+        # engine; pass MetricsRegistry(enabled=False) to run dark
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace = trace if trace is not None else TraceLog()
+        self.interpreter = MalInterpreter(self.catalog, metrics=self.metrics)
+        self.scheduler = scheduler or Scheduler(
+            metrics=self.metrics, trace=self.trace
+        )
         self._query_counter = 0
         self._queries: List[ContinuousQuery] = []
 
@@ -185,7 +197,7 @@ class DataCell:
         self, name: str, columns: Sequence[Tuple[str, AtomType]]
     ) -> Basket:
         """Create a stream basket and register it in the catalog."""
-        basket = Basket(name, columns, self.clock)
+        basket = Basket(name, columns, self.clock, metrics=self.metrics)
         self.catalog.register(basket)
         return basket
 
@@ -243,7 +255,7 @@ class DataCell:
             )
             for b in compiled.basket_inputs
         ]
-        factory = Factory(name, plan, bindings, [output])
+        factory = Factory(name, plan, bindings, [output], metrics=self.metrics)
         return self._register_query(name, sql, factory, output)
 
     def _submit_window_select(
@@ -365,7 +377,10 @@ class DataCell:
             else:
                 bindings.append(InputBinding(self.basket(item)))
         output = self.create_basket(f"{name}_out", output_columns)
-        factory = Factory(name, plan, bindings, [output], priority=priority)
+        factory = Factory(
+            name, plan, bindings, [output],
+            priority=priority, metrics=self.metrics,
+        )
         return self._register_query(name, None, factory, output)
 
     def submit_window_aggregate(
@@ -411,7 +426,7 @@ class DataCell:
         self, name: str, sql: Optional[str], factory: Factory, output: Basket
     ) -> ContinuousQuery:
         collector = CollectingClient()
-        emitter = Emitter(f"{name}_emitter", output)
+        emitter = Emitter(f"{name}_emitter", output, metrics=self.metrics)
         emitter.subscribe(collector)
         self.scheduler.register(factory)
         self.scheduler.register(emitter)
@@ -453,7 +468,9 @@ class DataCell:
         baskets = [
             t if isinstance(t, Basket) else self.basket(t) for t in targets
         ]
-        receptor = Receptor(name, channel, baskets, batch_size)
+        receptor = Receptor(
+            name, channel, baskets, batch_size, metrics=self.metrics
+        )
         self.scheduler.register(receptor)
         return receptor
 
@@ -465,7 +482,9 @@ class DataCell:
     ) -> Emitter:
         """Attach an extra emitter on any basket."""
         basket = source if isinstance(source, Basket) else self.basket(source)
-        emitter = Emitter(name, basket, include_time=include_time)
+        emitter = Emitter(
+            name, basket, include_time=include_time, metrics=self.metrics
+        )
         self.scheduler.register(emitter)
         return emitter
 
@@ -486,6 +505,84 @@ class DataCell:
 
     def stop(self) -> None:
         self.scheduler.stop()
+
+    # ------------------------------------------------------------------
+    # observability surface
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """A structured snapshot of the whole engine's measurements.
+
+        Shape::
+
+            {"scheduler": {"iterations", "firings",
+                           "transitions": {name: {"firings", "idle_polls",
+                                                  "activation_seconds"}}},
+             "baskets":   {name: {"depth", "high_water", "inserted",
+                                  "consumed", "shed"}},
+             "queries":   {name: {"delivered", "activations", "latency"}},
+             "mal":       {opcode: {"calls", "seconds"}}}
+
+        Histogram entries carry ``count/sum/min/max/p50/p95/p99``.  Works
+        in both driving modes; safe to call while threads run (values are
+        individually consistent, not a global atomic cut).
+        """
+        m = self.metrics
+        transitions = {}
+        for t in self.scheduler.transitions():
+            transitions[t.name] = {
+                "firings": int(
+                    m.value("datacell_transition_firings_total", (t.name,))
+                    or 0
+                ),
+                "idle_polls": int(
+                    m.value("datacell_transition_idle_polls_total", (t.name,))
+                    or 0
+                ),
+                "activation_seconds": m.histogram_snapshot(
+                    "datacell_transition_activation_seconds", (t.name,)
+                ) or {},
+            }
+        baskets = {}
+        for table in self.catalog.baskets():
+            if not isinstance(table, Basket):  # pragma: no cover - defensive
+                continue
+            baskets[table.name] = {
+                "depth": table.count,
+                "high_water": table.high_water,
+                "inserted": table.total_in,
+                "consumed": table.total_out,
+                "shed": table.total_shed,
+            }
+        queries = {}
+        for q in self._queries:
+            queries[q.name] = {
+                "delivered": q.results_delivered,
+                "activations": q.activations,
+                "latency": m.histogram_snapshot(
+                    "datacell_query_latency_seconds",
+                    (q.output_basket.name,),
+                ) or {},
+            }
+        return {
+            "scheduler": {
+                "iterations": self.scheduler.total_iterations,
+                "firings": self.scheduler.total_firings,
+                "transitions": transitions,
+            },
+            "baskets": baskets,
+            "queries": queries,
+            "mal": self.interpreter.profile(),
+        }
+
+    def render_dashboard(self, trace_events: int = 10) -> str:
+        """The engine's live state as an aligned text dashboard."""
+        return render_dashboard(
+            self.stats(), trace=self.trace, trace_events=trace_events
+        )
+
+    def prometheus_text(self) -> str:
+        """This cell's registry in Prometheus text exposition format."""
+        return self.metrics.to_prometheus_text()
 
     # ------------------------------------------------------------------
     def _fresh_name(self, prefix: str) -> str:

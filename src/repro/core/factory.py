@@ -31,6 +31,7 @@ import numpy as np
 
 from ..errors import DataCellError
 from ..kernel.mal import ResultSet
+from ..obs.metrics import MetricsRegistry, default_registry
 from .basket import Basket, BasketSnapshot
 
 __all__ = [
@@ -142,13 +143,18 @@ class CallablePlan(ContinuousPlan):
 
 @dataclass
 class ActivationResult:
-    """Statistics of one factory activation."""
+    """Statistics of one factory activation.
+
+    ``plan_seconds`` is the time spent inside ``plan.run`` alone;
+    ``elapsed - plan_seconds`` is basket I/O (snapshot, consume, append).
+    """
 
     fired: bool
     tuples_in: int = 0
     tuples_out: int = 0
     consumed: int = 0
     elapsed: float = 0.0
+    plan_seconds: float = 0.0
 
 
 class Factory:
@@ -161,6 +167,7 @@ class Factory:
         inputs: Sequence[Union[InputBinding, Basket]],
         outputs: Sequence[Basket],
         priority: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if not inputs:
             raise DataCellError(
@@ -178,6 +185,27 @@ class Factory:
         self.total_in = 0
         self.total_out = 0
         self.total_elapsed = 0.0
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_in = self.metrics.counter(
+            "datacell_factory_tuples_in_total",
+            "Tuples read from input baskets",
+            ("factory",),
+        ).labels(name)
+        self._m_out = self.metrics.counter(
+            "datacell_factory_tuples_out_total",
+            "Tuples emitted to output baskets",
+            ("factory",),
+        ).labels(name)
+        self._m_plan = self.metrics.histogram(
+            "datacell_factory_plan_seconds",
+            "Time spent evaluating the continuous plan per activation",
+            ("factory",),
+        ).labels(name)
+        self._m_io = self.metrics.histogram(
+            "datacell_factory_io_seconds",
+            "Activation time outside the plan: snapshot/consume/append",
+            ("factory",),
+        ).labels(name)
         for binding in self.inputs:
             if binding.mode is ConsumeMode.SHARED:
                 binding.basket.register_reader(self.name)
@@ -268,6 +296,7 @@ class Factory:
                 basket.lock.acquire()
             try:
                 snapshots: Dict[str, BasketSnapshot] = {}
+                origin_mono: Optional[float] = None
                 for binding in self.inputs:
                     if binding.mode is ConsumeMode.SHARED:
                         snap = binding.basket.read_new(self.name)
@@ -277,20 +306,32 @@ class Factory:
                         binding.last_seen_seq = max(
                             binding.last_seen_seq, int(snap.seqs.max())
                         )
+                        if binding.basket._stamping:
+                            oldest = float(snap.monos.min())
+                            if origin_mono is None or oldest < origin_mono:
+                                origin_mono = oldest
                     snapshots[binding.basket.name.lower()] = snap
                 tuples_in = sum(s.count for s in snapshots.values())
+                plan_started = time.perf_counter()
                 output = self.plan.run(snapshots)
+                plan_seconds = time.perf_counter() - plan_started
                 consumed = self._consume(snapshots, output)
-                tuples_out = self._emit(output)
+                tuples_out = self._emit(output, origin_mono)
             finally:
                 for basket in reversed(ordered):
                     basket.lock.release()
+            elapsed = time.perf_counter() - started
+            self._m_in.inc(tuples_in)
+            self._m_out.inc(tuples_out)
+            self._m_plan.observe(plan_seconds)
+            self._m_io.observe(elapsed - plan_seconds)
             yield ActivationResult(
                 fired=True,
                 tuples_in=tuples_in,
                 tuples_out=tuples_out,
                 consumed=consumed,
-                elapsed=time.perf_counter() - started,
+                elapsed=elapsed,
+                plan_seconds=plan_seconds,
             )
 
     def _consume(
@@ -323,8 +364,15 @@ class Factory:
             # PEEK consumes nothing
         return removed
 
-    def _emit(self, output: PlanOutput) -> int:
-        """Append plan results to the output baskets."""
+    def _emit(
+        self, output: PlanOutput, origin_mono: Optional[float] = None
+    ) -> int:
+        """Append plan results to the output baskets.
+
+        ``origin_mono`` (the earliest monotonic arrival stamp among this
+        activation's inputs) is propagated so downstream emitters measure
+        true insert→emit latency across factory chains.
+        """
         produced = 0
         by_name = {b.name.lower(): b for b in self.outputs}
         for name, result in output.results.items():
@@ -334,7 +382,7 @@ class Factory:
                     f"factory {self.name!r} produced rows for unknown "
                     f"output basket {name!r}"
                 )
-            produced += basket.append_result(result)
+            produced += basket.append_result(result, mono=origin_mono)
         return produced
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -15,6 +15,7 @@ from typing import Any, List, Optional, Sequence
 from ..adapters.channels import Channel, parse_tuple_text
 from ..errors import AdapterError
 from ..kernel.types import parse_atom
+from ..obs.metrics import MetricsRegistry, default_registry
 from .basket import Basket
 from .factory import ActivationResult
 
@@ -40,6 +41,7 @@ class Receptor:
         channel: Channel,
         targets: Sequence[Basket],
         batch_size: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if not targets:
             raise AdapterError(f"receptor {name!r} needs at least one target")
@@ -61,6 +63,17 @@ class Receptor:
         self.total_events = 0
         self.total_invalid = 0
         self.activations = 0
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_events = self.metrics.counter(
+            "datacell_receptor_events_total",
+            "Valid events ingested from the channel",
+            ("receptor",),
+        ).labels(name)
+        self._m_invalid = self.metrics.counter(
+            "datacell_receptor_invalid_total",
+            "Malformed events counted and skipped",
+            ("receptor",),
+        ).labels(name)
 
     # ------------------------------------------------------------------
     def enabled(self) -> bool:
@@ -81,6 +94,7 @@ class Receptor:
                 basket.insert_rows(rows)
         self.activations += 1
         self.total_events += len(rows)
+        self._m_events.inc(len(rows))
         return ActivationResult(
             fired=True,
             tuples_in=len(events),
@@ -109,6 +123,7 @@ class Receptor:
             return fields
         except Exception:
             self.total_invalid += 1
+            self._m_invalid.inc()
             return None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

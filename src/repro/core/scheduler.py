@@ -15,15 +15,24 @@ Two driving modes:
 * **threaded** — :meth:`Scheduler.start`; every single component is an
   independent thread and data streams through the threads connected by
   baskets, exactly the paper's multi-threaded architecture.
+
+Observability: every firing bumps a per-transition counter and an
+activation wall-time histogram, every failed enablement check bumps an
+idle-poll counter, and each firing is appended to a bounded
+:class:`~repro.obs.tracing.TraceLog` for post-mortems.  ``total_firings``
+is backed by a thread-safe counter (N transition threads increment it
+concurrently in threaded mode).
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional, Protocol, runtime_checkable
+from typing import Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
 from ..errors import SchedulerError
+from ..obs.metrics import Counter, MetricsRegistry, default_registry
+from ..obs.tracing import TraceLog
 from .factory import ActivationResult
 
 __all__ = ["SchedulableTransition", "Scheduler"]
@@ -44,14 +53,49 @@ class SchedulableTransition(Protocol):
 class Scheduler:
     """Organizes the execution of the DataCell's transitions."""
 
-    def __init__(self, poll_interval: float = 0.001):
+    def __init__(
+        self,
+        poll_interval: float = 0.001,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceLog] = None,
+    ):
         self._transitions: Dict[str, SchedulableTransition] = {}
         self._lock = threading.RLock()
         self._threads: List[threading.Thread] = []
         self._running = threading.Event()
         self.poll_interval = poll_interval
-        self.total_firings = 0
-        self.total_iterations = 0
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.trace = trace if trace is not None else TraceLog()
+        # total_firings survives metrics-disabled mode: it is a standalone
+        # thread-safe counter, not a registry instrument.
+        self._firings = Counter()
+        self.total_iterations = 0  # synchronous mode only; step() is serial
+        self._m_firings = self.metrics.counter(
+            "datacell_transition_firings_total",
+            "Transition activations, per transition",
+            ("transition",),
+        )
+        self._m_idle = self.metrics.counter(
+            "datacell_transition_idle_polls_total",
+            "Enablement checks that found the transition not ready",
+            ("transition",),
+        )
+        self._m_activation = self.metrics.histogram(
+            "datacell_transition_activation_seconds",
+            "Wall time of one transition activation",
+            ("transition",),
+        )
+        self._m_iterations = self.metrics.counter(
+            "datacell_scheduler_iterations_total",
+            "Synchronous scheduler iterations",
+        )
+        # per-transition instrument cache: resolved once per registration
+        self._instruments: Dict[str, Tuple] = {}
+
+    @property
+    def total_firings(self) -> int:
+        """Lifetime transition firings (thread-safe, both driving modes)."""
+        return int(self._firings.value)
 
     # ------------------------------------------------------------------
     # registration
@@ -63,12 +107,20 @@ class Scheduler:
                     f"transition {transition.name!r} already registered"
                 )
             self._transitions[transition.name] = transition
+            self._instruments[transition.name] = (
+                self._m_firings.labels(transition.name),
+                self._m_idle.labels(transition.name),
+                self._m_activation.labels(transition.name),
+            )
+            self.trace.record("register", transition.name)
             if self._running.is_set():
                 self._spawn(transition)
 
     def unregister(self, name: str) -> None:
         with self._lock:
-            self._transitions.pop(name, None)
+            if self._transitions.pop(name, None) is not None:
+                self.trace.record("unregister", name)
+            self._instruments.pop(name, None)
 
     def transitions(self) -> List[SchedulableTransition]:
         with self._lock:
@@ -80,6 +132,36 @@ class Scheduler:
                 return self._transitions[name]
             except KeyError:
                 raise SchedulerError(f"unknown transition {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # firing (shared by both driving modes)
+    # ------------------------------------------------------------------
+    def _instruments_for(self, name: str) -> Tuple:
+        inst = self._instruments.get(name)
+        if inst is None:  # raced with unregister; resolve ad hoc
+            inst = (
+                self._m_firings.labels(name),
+                self._m_idle.labels(name),
+                self._m_activation.labels(name),
+            )
+        return inst
+
+    def _fire(self, transition: SchedulableTransition) -> ActivationResult:
+        firings, _, activation_hist = self._instruments_for(transition.name)
+        started = time.perf_counter()
+        result = transition.activate()
+        elapsed = time.perf_counter() - started
+        self._firings.inc()
+        firings.inc()
+        activation_hist.observe(elapsed)
+        self.trace.record(
+            "fire",
+            transition.name,
+            tuples_in=result.tuples_in,
+            tuples_out=result.tuples_out,
+            elapsed=elapsed,
+        )
+        return result
 
     # ------------------------------------------------------------------
     # synchronous driving
@@ -94,13 +176,15 @@ class Scheduler:
         if self._running.is_set():
             raise SchedulerError("cannot step() while threads are running")
         self.total_iterations += 1
+        self._m_iterations.inc()
         ordered = sorted(self.transitions(), key=lambda t: -t.priority)
         fired = 0
         for transition in ordered:
             if transition.enabled():
-                transition.activate()
+                self._fire(transition)
                 fired += 1
-        self.total_firings += fired
+            else:
+                self._instruments_for(transition.name)[1].inc()
         return fired
 
     def run_until_quiescent(self, max_steps: int = 100_000) -> int:
@@ -142,15 +226,16 @@ class Scheduler:
         thread.start()
 
     def _drive(self, transition: SchedulableTransition) -> None:
+        idle_counter = self._instruments_for(transition.name)[1]
         while self._running.is_set():
             with self._lock:
                 alive = self._transitions.get(transition.name) is transition
             if not alive:
                 return
             if transition.enabled():
-                transition.activate()
-                self.total_firings += 1
+                self._fire(transition)
             else:
+                idle_counter.inc()
                 time.sleep(self.poll_interval)
 
     def stop(self, timeout: float = 5.0) -> None:

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..errors import BasketError
+from ..obs.metrics import MetricsRegistry
 from .basket import Basket
 
 __all__ = ["SHEDDING_POLICIES", "apply_shedding_policy", "LoadShedController"]
@@ -65,6 +66,8 @@ def apply_shedding_policy(
             keep = np.asarray(kept, dtype=np.int64)
         basket._rebuild_keeping(keep)
         basket.total_shed += overflow
+        basket._m_shed.inc(overflow)
+        basket._record_depth()
         return overflow
 
 
@@ -84,6 +87,8 @@ class LoadShedController:
         policy: str = "oldest",
         release_ratio: float = 0.8,
         seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+        name: str = "shed",
     ):
         if policy not in SHEDDING_POLICIES:
             raise BasketError(f"unknown shedding policy {policy!r}")
@@ -99,29 +104,66 @@ class LoadShedController:
         self.engaged = False
         self.total_dropped = 0
         self.ticks = 0
+        self.name = name
+        # the controller is a metrics *consumer*: it reads basket depth
+        # gauges from the registry the baskets publish into, rather than
+        # polling private state — and publishes its own control signals
+        self.metrics = (
+            metrics if metrics is not None else self.baskets[0].metrics
+        )
+        self._m_dropped = self.metrics.counter(
+            "datacell_shed_dropped_total",
+            "Tuples dropped by the adaptive controller",
+            ("controller",),
+        ).labels(name)
+        self._m_engaged = self.metrics.gauge(
+            "datacell_shed_engaged",
+            "1 while the controller is actively shedding",
+            ("controller",),
+        ).labels(name)
+        self._m_ticks = self.metrics.counter(
+            "datacell_shed_ticks_total",
+            "Control loop iterations",
+            ("controller",),
+        ).labels(name)
+
+    def _depth(self, basket: Basket) -> int:
+        """Basket depth as published in the metrics registry.
+
+        Falls back to the live count when the registry is disabled (the
+        gauge then reads 0 regardless of reality).
+        """
+        value = self.metrics.value(
+            "datacell_basket_depth", (basket.name,)
+        )
+        return basket.count if value is None else int(value)
 
     def buffered(self) -> int:
-        return sum(b.count for b in self.baskets)
+        return sum(self._depth(b) for b in self.baskets)
 
     def tick(self) -> int:
         """One control step; returns tuples dropped this step."""
         self.ticks += 1
+        self._m_ticks.inc()
         total = self.buffered()
         if not self.engaged:
             if total <= self.budget:
                 return 0
             self.engaged = True
+            self._m_engaged.set(1)
         elif total <= self.budget * self.release_ratio:
             self.engaged = False
+            self._m_engaged.set(0)
             return 0
         fair_share = max(1, self.budget // len(self.baskets))
         dropped = 0
         for basket in self.baskets:
-            if basket.count > fair_share:
+            if self._depth(basket) > fair_share:
                 dropped += apply_shedding_policy(
                     basket, fair_share, self.policy, self._rng
                 )
         self.total_dropped += dropped
+        self._m_dropped.inc(dropped)
         return dropped
 
     def stats(self) -> Dict[str, int]:

@@ -179,8 +179,15 @@ class ReplicatorTransition:
         result = ResultSet(
             names, [snap.column(n) for n in names]
         )
+        # propagate the earliest monotonic origin stamp so end-to-end
+        # latency survives the replication hop
+        mono = (
+            float(snap.monos.min())
+            if snap.count and self.source._stamping
+            else None
+        )
         for basket in self.targets:
-            basket.append_result(result)
+            basket.append_result(result, mono=mono)
         self.activations += 1
         self.tuples_copied += snap.count * len(self.targets)
         return ActivationResult(

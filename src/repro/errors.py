@@ -68,5 +68,9 @@ class AdapterError(ReproError):
     """A receptor/emitter adapter failed (bad event text, channel closed)."""
 
 
+class ObservabilityError(ReproError):
+    """Misuse of the metrics/tracing subsystem (bad labels, bad buckets)."""
+
+
 class LinearRoadError(ReproError):
     """Linear Road generator/validator failure."""

@@ -9,11 +9,14 @@ snapshots on every activation; the interpreter itself is stateless.
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..errors import MalError
+from ..obs.metrics import MetricsRegistry, default_registry
 from . import aggregate as _aggregate
 from . import calc as _calc
 from . import candidates as _cand
@@ -54,10 +57,35 @@ class MalContext:
 
 
 class MalInterpreter:
-    """Executes MAL programs against a catalog."""
+    """Executes MAL programs against a catalog.
 
-    def __init__(self, catalog: Catalog):
+    When built against an enabled metrics registry the interpreter keeps
+    an opcode profile: per-``module.fn`` invocation counts and cumulative
+    wall time, accumulated locally per ``execute`` and flushed once, so
+    the per-instruction overhead is two ``perf_counter`` calls and a dict
+    update.  :meth:`render_profile` is the ``explain``-style view.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.catalog = catalog
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._profiling = self.metrics.enabled
+        self._profile_lock = threading.Lock()
+        self._opcode_stats: Dict[str, List[float]] = {}  # [calls, seconds]
+        self._m_calls = self.metrics.counter(
+            "datacell_mal_opcode_invocations_total",
+            "MAL primitive invocations, per opcode",
+            ("opcode",),
+        )
+        self._m_seconds = self.metrics.counter(
+            "datacell_mal_opcode_seconds_total",
+            "Cumulative wall time inside each MAL primitive",
+            ("opcode",),
+        )
 
     def execute(
         self,
@@ -73,9 +101,68 @@ class MalInterpreter:
         if missing:
             raise MalError(f"missing program inputs: {missing}")
         ctx = MalContext(self.catalog)
+        if not self._profiling:
+            for ins in program.instructions:
+                self._step(ctx, ins, env)
+            return env
+        local: Dict[str, List[float]] = {}
         for ins in program.instructions:
+            started = time.perf_counter()
             self._step(ctx, ins, env)
+            elapsed = time.perf_counter() - started
+            key = f"{ins.module}.{ins.fn}"
+            slot = local.get(key)
+            if slot is None:
+                local[key] = [1, elapsed]
+            else:
+                slot[0] += 1
+                slot[1] += elapsed
+        self._flush_profile(local)
         return env
+
+    def _flush_profile(self, local: Dict[str, List[float]]) -> None:
+        with self._profile_lock:
+            for key, (calls, seconds) in local.items():
+                slot = self._opcode_stats.setdefault(key, [0, 0.0])
+                slot[0] += calls
+                slot[1] += seconds
+        for key, (calls, seconds) in local.items():
+            self._m_calls.labels(key).inc(calls)
+            self._m_seconds.labels(key).inc(seconds)
+
+    # ------------------------------------------------------------------
+    # opcode profile surface
+    # ------------------------------------------------------------------
+    def profile(self) -> Dict[str, Dict[str, float]]:
+        """Per-opcode invocation counts and cumulative seconds."""
+        with self._profile_lock:
+            return {
+                key: {"calls": int(calls), "seconds": seconds}
+                for key, (calls, seconds) in sorted(
+                    self._opcode_stats.items()
+                )
+            }
+
+    def render_profile(self) -> str:
+        """Aligned text profile, hottest opcode first (explain-style)."""
+        profile = self.profile()
+        if not profile:
+            return "(no MAL instructions profiled)"
+        ranked = sorted(
+            profile.items(), key=lambda kv: -kv[1]["seconds"]
+        )
+        width = max(len(op) for op, _ in ranked)
+        lines = [f"{'opcode'.ljust(width)}  {'calls':>10}  {'total ms':>12}"]
+        for op, stats in ranked:
+            lines.append(
+                f"{op.ljust(width)}  {stats['calls']:>10}  "
+                f"{stats['seconds'] * 1e3:>12.3f}"
+            )
+        return "\n".join(lines)
+
+    def reset_profile(self) -> None:
+        with self._profile_lock:
+            self._opcode_stats.clear()
 
     def run(self, program: Program, env: Optional[Dict[str, Any]] = None) -> Any:
         """Execute and return the program's declared output value."""

@@ -1,0 +1,46 @@
+"""Observability: metrics, tracing, and dashboards for the DataCell.
+
+The paper's scheduler (§2.4) is the hook for "query priorities, low-latency
+requirements, load shedding and dynamic environment changes" — all of which
+need measurements.  This package is the engine-wide measurement substrate:
+
+* :mod:`repro.obs.metrics` — a dependency-free metrics registry with
+  thread-safe counters, gauges and fixed-bucket histograms (plus a
+  zero-cost no-op mode and Prometheus text exposition);
+* :mod:`repro.obs.tracing` — a bounded ring buffer of scheduler decisions
+  and factory activations for post-morteming stalled networks;
+* :mod:`repro.obs.dashboard` — renders a :meth:`DataCell.stats` snapshot
+  as an aligned text dashboard.
+
+Every core component (scheduler, factory, basket, receptor, emitter, MAL
+interpreter) accepts a ``metrics`` registry; components built without one
+share the process-wide default registry returned by
+:func:`default_registry`.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    default_registry,
+    set_default_registry,
+)
+from .tracing import TraceEvent, TraceLog
+from .dashboard import render_dashboard
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "default_registry",
+    "set_default_registry",
+    "TraceEvent",
+    "TraceLog",
+    "render_dashboard",
+]

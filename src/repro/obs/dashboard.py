@@ -1,0 +1,122 @@
+"""Render a :meth:`DataCell.stats` snapshot as an aligned text dashboard.
+
+Reuses the benchmark suite's table renderer so engine introspection and
+bench output share one visual language.  The dashboard is plain text on
+purpose: it works over ssh, in CI logs, and in a ``watch``-style loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .tracing import TraceLog
+
+__all__ = ["render_dashboard"]
+
+_MS = 1e3
+
+
+def _ms(seconds: Any) -> float:
+    return float(seconds or 0.0) * _MS
+
+
+def render_dashboard(
+    stats: Dict[str, Any],
+    trace: Optional[TraceLog] = None,
+    trace_events: int = 10,
+) -> str:
+    """Build the full text dashboard from a ``stats()`` snapshot."""
+    # imported lazily: bench imports core which imports obs
+    from ..bench.reporting import format_table
+
+    sections: List[str] = []
+
+    scheduler = stats.get("scheduler", {})
+    header = (
+        f"scheduler: iterations={scheduler.get('iterations', 0)} "
+        f"firings={scheduler.get('firings', 0)}"
+    )
+    sections.append(header)
+
+    transitions = scheduler.get("transitions", {})
+    if transitions:
+        rows = []
+        for name, t in sorted(transitions.items()):
+            hist = t.get("activation_seconds") or {}
+            rows.append((
+                name,
+                int(t.get("firings") or 0),
+                int(t.get("idle_polls") or 0),
+                _ms(hist.get("p50")),
+                _ms(hist.get("p95")),
+                _ms(hist.get("max")),
+            ))
+        sections.append(format_table(
+            "Transitions",
+            ["transition", "firings", "idle polls",
+             "p50 ms", "p95 ms", "max ms"],
+            rows,
+        ))
+
+    baskets = stats.get("baskets", {})
+    if baskets:
+        rows = [
+            (
+                name,
+                int(b.get("depth") or 0),
+                int(b.get("high_water") or 0),
+                int(b.get("inserted") or 0),
+                int(b.get("consumed") or 0),
+                int(b.get("shed") or 0),
+            )
+            for name, b in sorted(baskets.items())
+        ]
+        sections.append(format_table(
+            "Baskets",
+            ["basket", "depth", "high water", "inserted", "consumed", "shed"],
+            rows,
+        ))
+
+    queries = stats.get("queries", {})
+    if queries:
+        rows = []
+        for name, q in sorted(queries.items()):
+            lat = q.get("latency") or {}
+            rows.append((
+                name,
+                int(q.get("delivered") or 0),
+                int(lat.get("count") or 0),
+                _ms(lat.get("p50")),
+                _ms(lat.get("p95")),
+                _ms(lat.get("p99")),
+                _ms(lat.get("max")),
+            ))
+        sections.append(format_table(
+            "Continuous queries (insert → emit latency)",
+            ["query", "delivered", "samples",
+             "p50 ms", "p95 ms", "p99 ms", "max ms"],
+            rows,
+        ))
+
+    mal = stats.get("mal", {})
+    if mal:
+        ranked = sorted(
+            mal.items(), key=lambda kv: -kv[1].get("seconds", 0.0)
+        )[:15]
+        rows = [
+            (op, int(prof.get("calls") or 0), _ms(prof.get("seconds")))
+            for op, prof in ranked
+        ]
+        sections.append(format_table(
+            "MAL opcodes (top 15 by cumulative time)",
+            ["opcode", "calls", "total ms"],
+            rows,
+        ))
+
+    if trace is not None and len(trace):
+        sections.append(
+            f"== Trace (last {trace_events} of {len(trace)} buffered) ==\n"
+            + trace.render(trace_events)
+        )
+
+    return "\n\n".join(sections) + "\n"

@@ -1,0 +1,543 @@
+"""A dependency-free metrics registry (counters, gauges, histograms).
+
+Design constraints, in order:
+
+1. **Hot-path cheapness** — instruments are resolved once (at component
+   construction) and each observation is a single short critical section;
+   bulk observations (:meth:`Histogram.observe_many`) amortize the lock
+   over a numpy batch.
+2. **Thread safety** — every instrument may be hammered from the paper's
+   one-thread-per-transition architecture; totals must be exact.
+3. **Zero-cost no-op mode** — a registry built with ``enabled=False``
+   hands out a shared :data:`NULL_INSTRUMENT` whose methods do nothing,
+   so instrumented code needs no ``if`` guards.
+
+Metric names follow Prometheus conventions (``*_total`` counters,
+``*_seconds`` histograms); :meth:`MetricsRegistry.to_prometheus_text`
+produces the standard text exposition format for scraping.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "default_registry",
+    "set_default_registry",
+]
+
+#: Default buckets (seconds) for latency/duration histograms: roughly
+#: geometric from 10µs to 10s, fine enough for sub-percent percentile
+#: resolution over the range a python stream engine can exhibit.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+class _NullInstrument:
+    """Absorbs every metric operation; handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def labels(self, *values: Any) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values: Any) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {}
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class Counter:
+    """A monotonically increasing, thread-safe counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"value": self._value}
+
+
+class Gauge:
+    """A thread-safe instantaneous value (basket depth, engaged flag...)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        # a plain float store is atomic under the GIL; no lock needed
+        # (inc/dec/set_max are read-modify-write and do lock)
+        self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Ratchet upward: keep the maximum ever seen (high-water marks)."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"value": self._value}
+
+
+class Histogram:
+    """A fixed-bucket histogram with percentile estimation.
+
+    Buckets are cumulative-upper-bound (``le``) style as in Prometheus;
+    an implicit ``+Inf`` bucket catches overflow.  Percentiles are
+    estimated by linear interpolation inside the containing bucket,
+    clamped to the exact observed ``min``/``max``.
+    """
+
+    __slots__ = (
+        "_lock", "_bounds", "_bounds_arr", "_counts",
+        "_count", "_sum", "_min", "_max",
+    )
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None):
+        bounds = tuple(sorted(buckets if buckets is not None else LATENCY_BUCKETS))
+        if not bounds:
+            raise ObservabilityError("a histogram needs at least one bucket")
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._bounds_arr = np.asarray(bounds, dtype=np.float64)
+        self._counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def observe_many(self, values: Any) -> None:
+        """Bulk observation: one lock acquisition for a whole numpy batch."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            return
+        idx = np.searchsorted(self._bounds_arr, arr, side="left")
+        binned = np.bincount(idx, minlength=len(self._counts))
+        lo = float(arr.min())
+        hi = float(arr.max())
+        total = float(arr.sum())
+        with self._lock:
+            for i, n in enumerate(binned):
+                if n:
+                    self._counts[i] += int(n)
+            self._count += int(arr.size)
+            self._sum += total
+            if lo < self._min:
+                self._min = lo
+            if hi > self._max:
+                self._max = hi
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def value(self) -> float:
+        """Alias so generic readers can treat any instrument uniformly."""
+        return float(self._count)
+
+    def percentile(self, q: float) -> float:
+        """Estimate the q-th percentile (0..100) from the buckets."""
+        if not 0 <= q <= 100:
+            raise ObservabilityError("percentile must be in [0, 100]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = (q / 100.0) * self._count
+            cumulative = 0
+            for i, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                if cumulative + bucket_count >= target:
+                    lo = self._bounds[i - 1] if i > 0 else self._min
+                    hi = (
+                        self._bounds[i]
+                        if i < len(self._bounds)
+                        else self._max
+                    )
+                    lo = max(lo, self._min)
+                    hi = min(hi, self._max)
+                    if hi <= lo:
+                        return float(lo)
+                    frac = (target - cumulative) / bucket_count
+                    return float(lo + frac * (hi - lo))
+                cumulative += bucket_count
+            return float(self._max)
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            count = self._count
+        if count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative (le, count) pairs, Prometheus-style, ending at +Inf."""
+        with self._lock:
+            out: List[Tuple[float, int]] = []
+            cumulative = 0
+            for bound, n in zip(self._bounds, self._counts):
+                cumulative += n
+                out.append((bound, cumulative))
+            cumulative += self._counts[-1]
+            out.append((float("inf"), cumulative))
+            return out
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """A named metric with a fixed label set; children are per label value.
+
+    Label-less families delegate ``inc``/``set``/``observe`` straight to
+    their single child so call sites read naturally either way.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Tuple[str, ...],
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = label_names
+        self._buckets = buckets
+        self._lock = threading.Lock()
+        self._children: Dict[LabelValues, Any] = {}
+
+    def _make(self) -> Any:
+        if self.kind == "histogram":
+            return Histogram(self._buckets)
+        return _KINDS[self.kind]()
+
+    def labels(self, *values: Any) -> Any:
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.label_names):
+            raise ObservabilityError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {key}"
+            )
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make()
+                    self._children[key] = child
+        return child
+
+    def children(self) -> Dict[LabelValues, Any]:
+        with self._lock:
+            return dict(self._children)
+
+    # convenience delegation for label-less metrics -----------------------
+    def inc(self, amount: float = 1) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self.labels().dec(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def set_max(self, value: float) -> None:
+        self.labels().set_max(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def observe_many(self, values: Any) -> None:
+        self.labels().observe_many(values)
+
+    @property
+    def value(self) -> float:
+        return self.labels().value
+
+
+class MetricsRegistry:
+    """Registers and serves metric families; the engine's measurement hub.
+
+    A registry built with ``enabled=False`` is a black hole: every
+    ``counter``/``gauge``/``histogram`` call returns the shared no-op
+    instrument and exposition renders empty — instrumented code pays one
+    attribute call per observation and nothing else.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Any:
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        label_names = tuple(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.label_names != label_names:
+                    raise ObservabilityError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind} with labels {family.label_names}"
+                    )
+                return family
+            family = _Family(name, kind, help, label_names, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Any:
+        return self._register(name, "counter", help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Any:
+        return self._register(name, "gauge", help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Any:
+        return self._register(name, "histogram", help, labels, buckets)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def _child(
+        self, name: str, labels: Union[None, str, Sequence[str]]
+    ) -> Optional[Any]:
+        family = self._families.get(name)
+        if family is None:
+            return None
+        if labels is None:
+            key: LabelValues = ()
+        elif isinstance(labels, str):
+            key = (labels,)
+        else:
+            key = tuple(str(v) for v in labels)
+        return family.children().get(key)
+
+    def value(
+        self, name: str, labels: Union[None, str, Sequence[str]] = None
+    ) -> Optional[float]:
+        """Current scalar value of a counter/gauge child, or ``None``."""
+        child = self._child(name, labels)
+        return None if child is None else child.value
+
+    def histogram_snapshot(
+        self, name: str, labels: Union[None, str, Sequence[str]] = None
+    ) -> Optional[Dict[str, float]]:
+        child = self._child(name, labels)
+        if child is None or not isinstance(child, Histogram):
+            return None
+        return child.snapshot()
+
+    def families(self) -> List[_Family]:
+        with self._lock:
+            return list(self._families.values())
+
+    def collect(self) -> Dict[str, Dict[str, Any]]:
+        """Structured snapshot of every family and child."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for family in self.families():
+            samples = {
+                key: child.snapshot()
+                for key, child in sorted(family.children().items())
+            }
+            out[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "labels": list(family.label_names),
+                "samples": samples,
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def to_prometheus_text(self) -> str:
+        """Render the Prometheus text exposition format (for scraping)."""
+        lines: List[str] = []
+        for family in sorted(self.families(), key=lambda f: f.name):
+            children = family.children()
+            if not children:
+                continue
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, child in sorted(children.items()):
+                if family.kind == "histogram":
+                    for bound, cumulative in child.bucket_counts():
+                        le = "+Inf" if bound == float("inf") else _fmt(bound)
+                        label_text = _labels_text(
+                            family.label_names + ("le",), key + (le,)
+                        )
+                        lines.append(
+                            f"{family.name}_bucket{label_text} {cumulative}"
+                        )
+                    base = _labels_text(family.label_names, key)
+                    lines.append(f"{family.name}_sum{base} {_fmt(child.sum)}")
+                    lines.append(f"{family.name}_count{base} {child.count}")
+                else:
+                    label_text = _labels_text(family.label_names, key)
+                    lines.append(
+                        f"{family.name}{label_text} {_fmt(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _labels_text(names: Iterable[str], values: Iterable[str]) -> str:
+    pairs = [
+        f'{n}="{_escape(v)}"' for n, v in zip(names, values)
+    ]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+# ----------------------------------------------------------------------
+# process-wide default registry
+# ----------------------------------------------------------------------
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The registry components fall back to when none is passed in."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide default registry; returns the previous one.
+
+    Mainly for benchmarks that want a pristine or disabled default.
+    """
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

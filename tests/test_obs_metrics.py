@@ -1,0 +1,247 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    default_registry,
+    set_default_registry,
+)
+
+
+def hammer(fn, threads=8, iterations=10_000):
+    """Run ``fn`` from N threads concurrently; a barrier maximizes overlap."""
+    barrier = threading.Barrier(threads)
+
+    def work():
+        barrier.wait()
+        for _ in range(iterations):
+            fn()
+
+    pool = [threading.Thread(target=work) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Counter().inc(-1)
+
+    def test_thread_safety_exact_total(self):
+        c = Counter()
+        hammer(c.inc)
+        assert c.value == 8 * 10_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_set_max_ratchets(self):
+        g = Gauge()
+        g.set_max(5)
+        g.set_max(3)
+        assert g.value == 5
+        g.set_max(9)
+        assert g.value == 9
+
+    def test_thread_safety_exact_total(self):
+        g = Gauge()
+        hammer(lambda: g.inc(1))
+        assert g.value == 8 * 10_000
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        h = Histogram(buckets=[1, 10, 100])
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+        snap = h.snapshot()
+        assert snap["min"] == 0.5
+        assert snap["max"] == 500
+
+    def test_empty_snapshot(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["p99"] == 0.0
+
+    def test_needs_buckets(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(buckets=[])
+
+    def test_percentile_range_check(self):
+        with pytest.raises(ObservabilityError):
+            Histogram().percentile(101)
+
+    def test_percentile_against_numpy(self):
+        # Percentiles are bucket-interpolated: accuracy is bounded by the
+        # width of the containing bucket, so compare within that tolerance.
+        rng = np.random.default_rng(7)
+        values = rng.uniform(1e-4, 0.5, size=5_000)
+        h = Histogram()  # default LATENCY_BUCKETS
+        h.observe_many(values)
+        for q in (50, 95, 99):
+            exact = float(np.percentile(values, q))
+            est = h.percentile(q)
+            idx = np.searchsorted(LATENCY_BUCKETS, exact)
+            lo = LATENCY_BUCKETS[idx - 1] if idx > 0 else 0.0
+            hi = LATENCY_BUCKETS[min(idx, len(LATENCY_BUCKETS) - 1)]
+            width = hi - lo
+            assert abs(est - exact) <= width, f"p{q}: {est} vs {exact}"
+
+    def test_percentile_clamped_to_observed(self):
+        h = Histogram(buckets=[1.0])
+        h.observe(0.25)
+        h.observe(0.75)
+        assert 0.25 <= h.percentile(50) <= 0.75
+        assert h.percentile(100) == 0.75
+
+    def test_observe_many_matches_observe(self):
+        a, b = Histogram(), Histogram()
+        values = [1e-4, 3e-3, 0.02, 0.9, 20.0]
+        for v in values:
+            a.observe(v)
+        b.observe_many(np.asarray(values))
+        assert a.bucket_counts() == b.bucket_counts()
+        assert a.snapshot() == b.snapshot()
+
+    def test_observe_many_empty(self):
+        h = Histogram()
+        h.observe_many(np.asarray([]))
+        assert h.count == 0
+
+    def test_thread_safety_exact_count(self):
+        h = Histogram(buckets=[1, 2, 3])
+        hammer(lambda: h.observe(1.5))
+        assert h.count == 8 * 10_000
+        assert h.bucket_counts()[1][1] == 8 * 10_000
+
+    def test_bucket_counts_cumulative_inf(self):
+        h = Histogram(buckets=[1, 10])
+        for v in (0.5, 5, 50):
+            h.observe(v)
+        assert h.bucket_counts() == [(1, 1), (10, 2), (float("inf"), 3)]
+
+
+class TestRegistry:
+    def test_labels_isolated(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("hits_total", "hits", ("who",))
+        fam.labels("a").inc(2)
+        fam.labels("b").inc(3)
+        assert reg.value("hits_total", ("a",)) == 2
+        assert reg.value("hits_total", ("b",)) == 3
+
+    def test_label_arity_checked(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("c_total", labels=("x",))
+        with pytest.raises(ObservabilityError):
+            fam.labels("a", "b")
+
+    def test_labelless_delegation(self):
+        reg = MetricsRegistry()
+        reg.counter("n_total").inc(4)
+        assert reg.value("n_total") == 4
+
+    def test_reregistration_same_kind_ok(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labels=("l",))
+        b = reg.counter("x_total", labels=("l",))
+        assert a is b
+
+    def test_reregistration_kind_conflict(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("x_total")
+
+    def test_value_unknown_is_none(self):
+        reg = MetricsRegistry()
+        assert reg.value("nope") is None
+        assert reg.histogram_snapshot("nope") is None
+
+    def test_collect_shape(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", "d", ("basket",)).labels("b1").set(7)
+        out = reg.collect()
+        assert out["depth"]["kind"] == "gauge"
+        assert out["depth"]["samples"][("b1",)]["value"] == 7
+
+    def test_disabled_registry_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("x_total")
+        assert c is NULL_INSTRUMENT
+        c.inc()
+        c.labels("a").observe(1)  # all absorb silently
+        assert reg.value("x_total") is None
+        assert reg.to_prometheus_text() == ""
+
+    def test_default_registry_swap(self):
+        fresh = MetricsRegistry()
+        previous = set_default_registry(fresh)
+        try:
+            assert default_registry() is fresh
+        finally:
+            set_default_registry(previous)
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "requests", ("code",)).labels("200").inc(5)
+        reg.gauge("temp").set(1.5)
+        text = reg.to_prometheus_text()
+        assert "# HELP req_total requests" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{code="200"} 5' in text
+        assert "# TYPE temp gauge" in text
+        assert "temp 1.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "latency", buckets=[0.1, 1.0])
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = reg.to_prometheus_text()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+        assert "lat_seconds_sum 5.55" in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels=("q",)).labels('a"b\\c').inc()
+        text = reg.to_prometheus_text()
+        assert r'c_total{q="a\"b\\c"} 1' in text
+
+    def test_empty_family_omitted(self):
+        reg = MetricsRegistry()
+        reg.counter("never_used_total", "unused", ("l",))
+        assert "never_used_total" not in reg.to_prometheus_text()
