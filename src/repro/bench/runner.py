@@ -23,6 +23,7 @@ from ..core.scheduler import Scheduler
 from ..core.strategies import RangeQuery, SelectPlan
 from ..kernel.types import AtomType
 from ..obs.metrics import MetricsRegistry
+from ..obs.spans import SpanRecorder
 
 __all__ = [
     "PipelineFixture",
@@ -67,28 +68,34 @@ def build_figure1_pipeline(
     high: float = 200.0,
     batch_size: int = 1024,
     metrics: Optional[MetricsRegistry] = None,
+    spans: Optional[SpanRecorder] = None,
 ) -> PipelineFixture:
     """Receptor -> B1 -> select factory -> B2 -> emitter.
 
     Every component shares one private registry so a bench can read the
     pipeline's true counters instead of re-deriving them; pass
     ``MetricsRegistry(enabled=False)`` to measure the no-op overhead.
+    Pass a :class:`SpanRecorder` to measure causal-tracing overhead at a
+    given sampling rate.
     """
     clock = LogicalClock()
     metrics = metrics if metrics is not None else MetricsRegistry()
-    b1 = Basket("b1", [("v", AtomType.INT)], clock, metrics=metrics)
-    b2 = Basket("b2", [("v", AtomType.INT)], clock, metrics=metrics)
+    b1 = Basket("b1", [("v", AtomType.INT)], clock, metrics=metrics,
+                tracer=spans)
+    b2 = Basket("b2", [("v", AtomType.INT)], clock, metrics=metrics,
+                tracer=spans)
     channel = InMemoryChannel("stream")
     receptor = Receptor(
-        "r", channel, [b1], batch_size=batch_size, metrics=metrics
+        "r", channel, [b1], batch_size=batch_size, metrics=metrics,
+        tracer=spans,
     )
     plan = SelectPlan(RangeQuery("q", "v", low, high), "b1", "b2")
     factory = Factory(
         "q", plan, [InputBinding(b1, ConsumeMode.ALL)], [b2],
-        metrics=metrics,
+        metrics=metrics, tracer=spans,
     )
     client = CollectingClient()
-    emitter = Emitter("e", b2, metrics=metrics)
+    emitter = Emitter("e", b2, metrics=metrics, tracer=spans)
     emitter.subscribe(client)
     scheduler = Scheduler(metrics=metrics)
     for transition in (receptor, factory, emitter):

@@ -38,6 +38,7 @@ from ..kernel.catalog import ColumnDef, Schema, Table
 from ..kernel.mal import ResultSet
 from ..kernel.types import AtomType
 from ..obs.metrics import MetricsRegistry, default_registry
+from ..obs.spans import SpanRecorder
 from .clock import Clock, WallClock
 
 __all__ = ["Basket", "BasketSnapshot", "TIME_COLUMN"]
@@ -60,11 +61,25 @@ class BasketSnapshot:
         bats: Sequence[BAT],
         seqs: np.ndarray,
         monos: Optional[np.ndarray] = None,
+        tokens: Optional[np.ndarray] = None,
     ):
         self.names = list(names)
         self.bats = list(bats)
         self.seqs = seqs
         self._monos = monos
+        self.tokens = tokens
+
+    def first_token(self) -> int:
+        """The first sampled trace token among the snapshot's tuples.
+
+        Span causality plumbing: factories/emitters continue the trace
+        of the oldest sampled tuple they process.  ``0`` when nothing in
+        view is part of a sampled batch (or tokens are not tracked).
+        """
+        if self.tokens is None or not len(self.tokens):
+            return 0
+        nonzero = self.tokens[self.tokens != 0]
+        return int(nonzero[0]) if nonzero.size else 0
 
     @property
     def monos(self) -> np.ndarray:
@@ -108,6 +123,7 @@ class Basket(Table):
         columns: Sequence[Tuple[str, AtomType]],
         clock: Optional[Clock] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanRecorder] = None,
     ):
         if any(col[0].lower() in (TIME_COLUMN, "dc_seq") for col in columns):
             raise BasketError(
@@ -135,6 +151,11 @@ class Basket(Table):
         # latency stamping is skipped entirely in no-op mode: nothing
         # reads the stamps when every histogram is a null instrument
         self._stamping = self.metrics.enabled
+        # trace tokens ride along only when a span recorder is attached:
+        # the column marks which tuples belong to a sampled batch, so
+        # causality survives basket hops exactly like the origin stamp
+        self._token_tracking = tracer is not None and tracer.enabled
+        self._tokens = BAT(AtomType.LNG)
         self._m_in = self.metrics.counter(
             "datacell_basket_inserted_total",
             "Tuples inserted into the basket",
@@ -184,6 +205,7 @@ class Basket(Table):
         self,
         rows: Iterable[Sequence[Any]],
         timestamp: Optional[float] = None,
+        trace_token: int = 0,
     ) -> int:
         """Append user-arity tuples, stamping arrival time and sequence.
 
@@ -210,6 +232,10 @@ class Basket(Table):
             self.bat(TIME_COLUMN).append_array(np.full(n, stamp))
             if self._stamping:
                 self._mono.append_array(np.full(n, time.monotonic()))
+            if self._token_tracking:
+                self._tokens.append_array(
+                    np.full(n, trace_token, dtype=np.int64)
+                )
             self._seq.append_array(
                 np.arange(self._next_seq, self._next_seq + n, dtype=np.int64)
             )
@@ -224,6 +250,7 @@ class Basket(Table):
         self,
         columns: Dict[str, np.ndarray],
         timestamp: Optional[float] = None,
+        trace_token: int = 0,
     ) -> int:
         """Columnar bulk ingest (receptor fast path).
 
@@ -248,6 +275,10 @@ class Basket(Table):
             self.bat(TIME_COLUMN).append_array(np.full(n, stamp))
             if self._stamping:
                 self._mono.append_array(np.full(n, time.monotonic()))
+            if self._token_tracking:
+                self._tokens.append_array(
+                    np.full(n, trace_token, dtype=np.int64)
+                )
             self._seq.append_array(
                 np.arange(self._next_seq, self._next_seq + n, dtype=np.int64)
             )
@@ -291,7 +322,12 @@ class Basket(Table):
             monos = (
                 self._mono.tail[positions].copy() if self._stamping else None
             )
-            return BasketSnapshot(names, bats, seqs[positions], monos)
+            tokens = (
+                self._tokens.tail[positions].copy()
+                if self._token_tracking
+                else None
+            )
+            return BasketSnapshot(names, bats, seqs[positions], monos, tokens)
 
     def consume_all(self) -> int:
         """Remove every tuple (the bulk ``basket.empty`` of Algorithm 1)."""
@@ -333,6 +369,8 @@ class Basket(Table):
         self._seq = self._seq.take_positions(positions, hseqbase=0)
         if self._stamping:
             self._mono = self._mono.take_positions(positions, hseqbase=0)
+        if self._token_tracking:
+            self._tokens = self._tokens.take_positions(positions, hseqbase=0)
         self.replace_bats(new_bats)
 
     def truncate(self) -> int:
@@ -432,6 +470,7 @@ class Basket(Table):
         result: ResultSet,
         timestamp: Optional[float] = None,
         mono: Optional[float] = None,
+        trace_token: int = 0,
     ) -> int:
         """Append a factory's result set (user columns) to this basket.
 
@@ -439,7 +478,8 @@ class Basket(Table):
         tuples with: factories pass the earliest arrival stamp of the
         inputs that produced this result, so insert→emit latency survives
         through intermediate baskets.  ``None`` stamps "now" (tuples born
-        here).
+        here).  ``trace_token`` likewise forwards the sampled trace token
+        of the inputs so span causality survives basket hops.
         """
         rows_added = result.count
         if rows_added == 0:
@@ -465,6 +505,10 @@ class Basket(Table):
                     time.monotonic() if mono is None else float(mono)
                 )
                 self._mono.append_array(np.full(rows_added, mono_stamp))
+            if self._token_tracking:
+                self._tokens.append_array(
+                    np.full(rows_added, trace_token, dtype=np.int64)
+                )
             self._seq.append_array(
                 np.arange(
                     self._next_seq, self._next_seq + rows_added, dtype=np.int64

@@ -80,5 +80,27 @@ class ContinuousQuery:
         """Human-readable plan (MAL text for compiled queries)."""
         return self.factory.plan.describe()
 
+    def program(self) -> Optional[Any]:
+        """The compiled MAL program, if this query runs one.
+
+        Hand-built plans (window aggregates, callables) have no program
+        and return ``None``.
+        """
+        compiled = getattr(self.factory.plan, "compiled", None)
+        return None if compiled is None else compiled.program
+
+    def explain_analyze(self) -> str:
+        """The annotated plan tree: cumulative time/calls/rows per
+        operator, aggregated from the interpreter's opcode timings over
+        every activation so far."""
+        program = self.program()
+        if program is None:
+            return (
+                f"continuous query {self.name}\n"
+                f"  (hand-built plan, no MAL program: "
+                f"{self.factory.plan.describe()})"
+            )
+        return program.render_analyze()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ContinuousQuery({self.name!r}, delivered={self.results_delivered})"

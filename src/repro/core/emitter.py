@@ -14,6 +14,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from ..adapters.channels import Channel, format_tuple
 from ..errors import AdapterError
 from ..obs.metrics import MetricsRegistry, default_registry
+from ..obs.spans import SpanRecorder
 from .basket import Basket, TIME_COLUMN
 from .factory import ActivationResult
 
@@ -51,6 +52,7 @@ class Emitter:
         include_time: bool = False,
         batch_size: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanRecorder] = None,
     ):
         self.name = name
         self.source = source
@@ -62,6 +64,8 @@ class Emitter:
         self.total_delivered = 0
         self.activations = 0
         self.metrics = metrics if metrics is not None else default_registry()
+        self.tracer = tracer
+        self._tracing = tracer is not None and tracer.enabled
         self._m_delivered = self.metrics.counter(
             "datacell_emitter_delivered_total",
             "Result rows delivered to subscribers",
@@ -100,12 +104,23 @@ class Emitter:
         with self.source.lock:
             snapshot = self.source.snapshot()
             self.source.consume_all()
+        token = snapshot.first_token() if self._tracing else 0
+        span = (
+            self.tracer.begin_stage(
+                self.name, "emitter", token, rows=snapshot.count
+            )
+            if token
+            else None
+        )
         rows = self._project(snapshot)
         for client in self._clients:
             client(rows)
         for channel in self._channels:
             for row in rows:
                 channel.push(format_tuple(row))
+        if span is not None:
+            self.tracer.end_stage(span, delivered=len(rows))
+            self.tracer.close_root(token, emitter=self.name)
         if snapshot.count and self._measure_latency:
             # insert→emit latency: monotonic now minus each tuple's
             # (propagated) monotonic origin stamp — immune to wall jumps

@@ -28,7 +28,9 @@ from ..kernel.interpreter import MalInterpreter
 from ..kernel.mal import ResultSet
 from ..kernel.types import AtomType
 from ..obs.dashboard import render_dashboard
+from ..obs.flightrec import FlightRecorder
 from ..obs.metrics import MetricsRegistry
+from ..obs.spans import SpanRecorder
 from ..obs.tracing import TraceLog
 from ..sql.ast_nodes import (
     CreateBasket,
@@ -77,6 +79,7 @@ class DataCell:
         scheduler: Optional[Scheduler] = None,
         metrics: Optional[MetricsRegistry] = None,
         trace: Optional[TraceLog] = None,
+        spans: Optional[SpanRecorder] = None,
     ):
         self.clock = clock or WallClock()
         self.catalog = Catalog()
@@ -85,10 +88,21 @@ class DataCell:
         # engine; pass MetricsRegistry(enabled=False) to run dark
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace = trace if trace is not None else TraceLog()
-        self.interpreter = MalInterpreter(self.catalog, metrics=self.metrics)
+        # the causal layer follows the metrics switch: a dark cell traces
+        # nothing; pass an explicit SpanRecorder to control sampling
+        self.spans = (
+            spans
+            if spans is not None
+            else SpanRecorder(enabled=self.metrics.enabled)
+        )
+        self.interpreter = MalInterpreter(
+            self.catalog, metrics=self.metrics, tracer=self.spans
+        )
         self.scheduler = scheduler or Scheduler(
             metrics=self.metrics, trace=self.trace
         )
+        self.flight = FlightRecorder(self)
+        self.scheduler.on_exception = self.flight.record_exception
         self._query_counter = 0
         self._queries: List[ContinuousQuery] = []
 
@@ -140,7 +154,18 @@ class DataCell:
         return result.rows()
 
     def explain(self, sql: str) -> str:
-        """Compile (without running) and return the optimized MAL plan."""
+        """EXPLAIN / EXPLAIN ANALYZE.
+
+        Given the *name* of a registered continuous query, renders its
+        annotated plan tree — cumulative time, calls, and rows per
+        operator, aggregated from interpreter opcode timings across every
+        activation so far (the continuous EXPLAIN ANALYZE).  Given SQL
+        text, compiles it (without running) and returns the optimized MAL
+        program.
+        """
+        for query in self._queries:
+            if query.name == sql:
+                return query.explain_analyze()
         stmt = parse_statement(sql)
         if isinstance(stmt, UnionSelect):
             compiled = compile_union(self.catalog, stmt)
@@ -197,7 +222,10 @@ class DataCell:
         self, name: str, columns: Sequence[Tuple[str, AtomType]]
     ) -> Basket:
         """Create a stream basket and register it in the catalog."""
-        basket = Basket(name, columns, self.clock, metrics=self.metrics)
+        basket = Basket(
+            name, columns, self.clock,
+            metrics=self.metrics, tracer=self.spans,
+        )
         self.catalog.register(basket)
         return basket
 
@@ -241,6 +269,8 @@ class DataCell:
             protected=[b.consumed_var for b in compiled.basket_inputs],
         )
         name = name or self._fresh_name("q")
+        # EXPLAIN ANALYZE renders the program under the query's name
+        compiled.program.name = name
         columns = []
         for col_name, atom in zip(compiled.output_names, compiled.output_atoms):
             out_name = "ts" if col_name.lower() == TIME_COLUMN else col_name
@@ -255,7 +285,10 @@ class DataCell:
             )
             for b in compiled.basket_inputs
         ]
-        factory = Factory(name, plan, bindings, [output], metrics=self.metrics)
+        factory = Factory(
+            name, plan, bindings, [output],
+            metrics=self.metrics, tracer=self.spans,
+        )
         return self._register_query(name, sql, factory, output)
 
     def _submit_window_select(
@@ -379,7 +412,7 @@ class DataCell:
         output = self.create_basket(f"{name}_out", output_columns)
         factory = Factory(
             name, plan, bindings, [output],
-            priority=priority, metrics=self.metrics,
+            priority=priority, metrics=self.metrics, tracer=self.spans,
         )
         return self._register_query(name, None, factory, output)
 
@@ -426,7 +459,10 @@ class DataCell:
         self, name: str, sql: Optional[str], factory: Factory, output: Basket
     ) -> ContinuousQuery:
         collector = CollectingClient()
-        emitter = Emitter(f"{name}_emitter", output, metrics=self.metrics)
+        emitter = Emitter(
+            f"{name}_emitter", output,
+            metrics=self.metrics, tracer=self.spans,
+        )
         emitter.subscribe(collector)
         self.scheduler.register(factory)
         self.scheduler.register(emitter)
@@ -469,7 +505,8 @@ class DataCell:
             t if isinstance(t, Basket) else self.basket(t) for t in targets
         ]
         receptor = Receptor(
-            name, channel, baskets, batch_size, metrics=self.metrics
+            name, channel, baskets, batch_size,
+            metrics=self.metrics, tracer=self.spans,
         )
         self.scheduler.register(receptor)
         return receptor
@@ -483,7 +520,8 @@ class DataCell:
         """Attach an extra emitter on any basket."""
         basket = source if isinstance(source, Basket) else self.basket(source)
         emitter = Emitter(
-            name, basket, include_time=include_time, metrics=self.metrics
+            name, basket, include_time=include_time,
+            metrics=self.metrics, tracer=self.spans,
         )
         self.scheduler.register(emitter)
         return emitter
@@ -520,7 +558,9 @@ class DataCell:
              "baskets":   {name: {"depth", "high_water", "inserted",
                                   "consumed", "shed"}},
              "queries":   {name: {"delivered", "activations", "latency"}},
-             "mal":       {opcode: {"calls", "seconds"}}}
+             "mal":       {opcode: {"calls", "seconds"}},
+             "spans":     {"batches_seen", "sampled_batches", "finished",
+                           "open_roots"}}
 
         Histogram entries carry ``count/sum/min/max/p50/p95/p99``.  Works
         in both driving modes; safe to call while threads run (values are
@@ -572,6 +612,12 @@ class DataCell:
             "baskets": baskets,
             "queries": queries,
             "mal": self.interpreter.profile(),
+            "spans": {
+                "batches_seen": self.spans.batches_seen,
+                "sampled_batches": self.spans.sampled_batches,
+                "finished": len(self.spans),
+                "open_roots": len(self.spans.open_roots()),
+            },
         }
 
     def render_dashboard(self, trace_events: int = 10) -> str:
@@ -583,6 +629,14 @@ class DataCell:
     def prometheus_text(self) -> str:
         """This cell's registry in Prometheus text exposition format."""
         return self.metrics.to_prometheus_text()
+
+    def export_chrome_trace(self, path: str) -> None:
+        """Write sampled spans as Chrome trace-event JSON (Perfetto)."""
+        self.spans.export_chrome_trace(path)
+
+    def dump_flight_record(self, path: str) -> dict:
+        """Write the flight-recorder post-mortem JSON; returns the doc."""
+        return self.flight.dump(path, reason="manual")
 
     # ------------------------------------------------------------------
     def _fresh_name(self, prefix: str) -> str:

@@ -32,6 +32,7 @@ import numpy as np
 from ..errors import DataCellError
 from ..kernel.mal import ResultSet
 from ..obs.metrics import MetricsRegistry, default_registry
+from ..obs.spans import SpanRecorder
 from .basket import Basket, BasketSnapshot
 
 __all__ = [
@@ -168,6 +169,7 @@ class Factory:
         outputs: Sequence[Basket],
         priority: int = 0,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanRecorder] = None,
     ):
         if not inputs:
             raise DataCellError(
@@ -186,6 +188,8 @@ class Factory:
         self.total_out = 0
         self.total_elapsed = 0.0
         self.metrics = metrics if metrics is not None else default_registry()
+        self.tracer = tracer
+        self._tracing = tracer is not None and tracer.enabled
         self._m_in = self.metrics.counter(
             "datacell_factory_tuples_in_total",
             "Tuples read from input baskets",
@@ -297,6 +301,7 @@ class Factory:
             try:
                 snapshots: Dict[str, BasketSnapshot] = {}
                 origin_mono: Optional[float] = None
+                origin_token = 0
                 for binding in self.inputs:
                     if binding.mode is ConsumeMode.SHARED:
                         snap = binding.basket.read_new(self.name)
@@ -310,13 +315,34 @@ class Factory:
                             oldest = float(snap.monos.min())
                             if origin_mono is None or oldest < origin_mono:
                                 origin_mono = oldest
+                        if self._tracing and not origin_token:
+                            origin_token = snap.first_token()
                     snapshots[binding.basket.name.lower()] = snap
                 tuples_in = sum(s.count for s in snapshots.values())
+                fspan = (
+                    self.tracer.begin_stage(
+                        self.name, "factory", origin_token,
+                        tuples_in=tuples_in,
+                    )
+                    if self._tracing and origin_token
+                    else None
+                )
                 plan_started = time.perf_counter()
-                output = self.plan.run(snapshots)
+                if fspan is not None:
+                    # publish this activation as the thread's current
+                    # stage so the MAL interpreter can hang opcode spans
+                    # off it without parameter plumbing
+                    with self.tracer.stage(fspan):
+                        output = self.plan.run(snapshots)
+                else:
+                    output = self.plan.run(snapshots)
                 plan_seconds = time.perf_counter() - plan_started
                 consumed = self._consume(snapshots, output)
-                tuples_out = self._emit(output, origin_mono)
+                tuples_out = self._emit(output, origin_mono, origin_token)
+                if fspan is not None:
+                    self.tracer.end_stage(
+                        fspan, handoff=True, tuples_out=tuples_out
+                    )
             finally:
                 for basket in reversed(ordered):
                     basket.lock.release()
@@ -365,13 +391,17 @@ class Factory:
         return removed
 
     def _emit(
-        self, output: PlanOutput, origin_mono: Optional[float] = None
+        self,
+        output: PlanOutput,
+        origin_mono: Optional[float] = None,
+        origin_token: int = 0,
     ) -> int:
         """Append plan results to the output baskets.
 
         ``origin_mono`` (the earliest monotonic arrival stamp among this
         activation's inputs) is propagated so downstream emitters measure
-        true insert→emit latency across factory chains.
+        true insert→emit latency across factory chains; ``origin_token``
+        carries the sampled trace token the same way.
         """
         produced = 0
         by_name = {b.name.lower(): b for b in self.outputs}
@@ -382,7 +412,9 @@ class Factory:
                     f"factory {self.name!r} produced rows for unknown "
                     f"output basket {name!r}"
                 )
-            produced += basket.append_result(result, mono=origin_mono)
+            produced += basket.append_result(
+                result, mono=origin_mono, trace_token=origin_token
+            )
         return produced
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -16,6 +16,7 @@ from ..adapters.channels import Channel, parse_tuple_text
 from ..errors import AdapterError
 from ..kernel.types import parse_atom
 from ..obs.metrics import MetricsRegistry, default_registry
+from ..obs.spans import SpanRecorder
 from .basket import Basket
 from .factory import ActivationResult
 
@@ -42,6 +43,7 @@ class Receptor:
         targets: Sequence[Basket],
         batch_size: int = 1024,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanRecorder] = None,
     ):
         if not targets:
             raise AdapterError(f"receptor {name!r} needs at least one target")
@@ -64,6 +66,8 @@ class Receptor:
         self.total_invalid = 0
         self.activations = 0
         self.metrics = metrics if metrics is not None else default_registry()
+        self.tracer = tracer
+        self._tracing = tracer is not None and tracer.enabled
         self._m_events = self.metrics.counter(
             "datacell_receptor_events_total",
             "Valid events ingested from the channel",
@@ -90,8 +94,21 @@ class Receptor:
             if row is not None:
                 rows.append(row)
         if rows:
+            token = 0
+            span = None
+            if self._tracing:
+                # one root span per appended batch; the receptor's own
+                # work is the trace's first child stage
+                token = self.tracer.begin_batch(
+                    receptor=self.name, rows=len(rows)
+                )
+                span = self.tracer.begin_stage(
+                    self.name, "receptor", token, rows=len(rows)
+                )
             for basket in self.targets:
-                basket.insert_rows(rows)
+                basket.insert_rows(rows, trace_token=token)
+            if span is not None:
+                self.tracer.end_stage(span, handoff=True)
         self.activations += 1
         self.total_events += len(rows)
         self._m_events.inc(len(rows))

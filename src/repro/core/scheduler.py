@@ -28,7 +28,15 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional, Protocol, Tuple, runtime_checkable
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
 from ..errors import SchedulerError
 from ..obs.metrics import Counter, MetricsRegistry, default_registry
@@ -66,6 +74,11 @@ class Scheduler:
         self.poll_interval = poll_interval
         self.metrics = metrics if metrics is not None else default_registry()
         self.trace = trace if trace is not None else TraceLog()
+        # flight-recorder hook: called with (transition_name, exception)
+        # when an activation raises; the exception still propagates
+        self.on_exception: Optional[Callable[[str, BaseException], None]] = (
+            None
+        )
         # total_firings survives metrics-disabled mode: it is a standalone
         # thread-safe counter, not a registry instrument.
         self._firings = Counter()
@@ -149,7 +162,20 @@ class Scheduler:
     def _fire(self, transition: SchedulableTransition) -> ActivationResult:
         firings, _, activation_hist = self._instruments_for(transition.name)
         started = time.perf_counter()
-        result = transition.activate()
+        try:
+            result = transition.activate()
+        except BaseException as exc:
+            self.trace.record(
+                "error",
+                transition.name,
+                exception=f"{type(exc).__name__}: {exc}",
+            )
+            if self.on_exception is not None:
+                try:
+                    self.on_exception(transition.name, exc)
+                except Exception:  # pragma: no cover - recorder must not kill
+                    pass
+            raise
         elapsed = time.perf_counter() - started
         self._firings.inc()
         firings.inc()

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..errors import MalError
 from ..obs.metrics import MetricsRegistry, default_registry
+from ..obs.spans import SpanRecorder
 from . import aggregate as _aggregate
 from . import calc as _calc
 from . import candidates as _cand
@@ -70,10 +71,13 @@ class MalInterpreter:
         self,
         catalog: Catalog,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanRecorder] = None,
     ):
         self.catalog = catalog
         self.metrics = metrics if metrics is not None else default_registry()
         self._profiling = self.metrics.enabled
+        self.tracer = tracer
+        self._tracing = tracer is not None and tracer.enabled
         self._profile_lock = threading.Lock()
         self._opcode_stats: Dict[str, List[float]] = {}  # [calls, seconds]
         self._m_calls = self.metrics.counter(
@@ -106,6 +110,11 @@ class MalInterpreter:
                 self._step(ctx, ins, env)
             return env
         local: Dict[str, List[float]] = {}
+        # per-plan-node accumulation: [calls, seconds, last rows-out].
+        # rows-out overwrites rather than sums within one execution — a
+        # node's row count is what its *final* instruction produced.
+        node_local: Dict[Optional[int], List[float]] = {}
+        stage = self.tracer.current_stage() if self._tracing else None
         for ins in program.instructions:
             started = time.perf_counter()
             self._step(ctx, ins, env)
@@ -117,8 +126,56 @@ class MalInterpreter:
             else:
                 slot[0] += 1
                 slot[1] += elapsed
+            node_slot = node_local.get(ins.node)
+            if node_slot is None:
+                node_local[ins.node] = node_slot = [0, 0.0, 0.0]
+            node_slot[0] += 1
+            node_slot[1] += elapsed
+            rows = self._rows_out(ins, env)
+            if rows is not None:
+                node_slot[2] = rows
+            if stage is not None:
+                self.tracer.add_opcode(
+                    stage, key, started, elapsed,
+                    node=ins.node,
+                )
         self._flush_profile(local)
+        self._flush_node_stats(program, node_local)
         return env
+
+    @staticmethod
+    def _rows_out(ins: Instr, env: Dict[str, Any]) -> Optional[float]:
+        """Row-count estimate of an instruction's primary result."""
+        if not ins.results:
+            return None
+        value = env.get(ins.results[0])
+        if isinstance(value, (BAT, ResultSet)):
+            return float(value.count)
+        if isinstance(value, np.ndarray):
+            return float(len(value))
+        return None
+
+    def _flush_node_stats(
+        self,
+        program: Program,
+        node_local: Dict[Optional[int], List[float]],
+    ) -> None:
+        """Fold one execution's per-node timings into the program.
+
+        The program object is the natural per-query aggregation point: a
+        continuous query owns its compiled program, so cumulative node
+        stats *are* the query's EXPLAIN ANALYZE state.
+        """
+        with self._profile_lock:
+            stats = program.node_stats
+            for node_id, (calls, seconds, rows) in node_local.items():
+                slot = stats.get(node_id)
+                if slot is None:
+                    stats[node_id] = [calls, seconds, rows]
+                else:
+                    slot[0] += calls
+                    slot[1] += seconds
+                    slot[2] += rows
 
     def _flush_profile(self, local: Dict[str, List[float]]) -> None:
         with self._profile_lock:

@@ -22,7 +22,7 @@ from ..errors import MalError
 from .bat import BAT
 from .types import AtomType, python_value
 
-__all__ = ["Var", "Const", "Instr", "Program", "ResultSet"]
+__all__ = ["Var", "Const", "Instr", "PlanNode", "Program", "ResultSet"]
 
 
 @dataclass(frozen=True)
@@ -50,12 +50,19 @@ Arg = Union[Var, Const]
 
 @dataclass(frozen=True)
 class Instr:
-    """One MAL instruction: ``results := module.fn(args)``."""
+    """One MAL instruction: ``results := module.fn(args)``.
+
+    ``node`` is the id of the logical-plan node (:class:`PlanNode`) this
+    instruction implements — the EXPLAIN ANALYZE back-pointer letting the
+    interpreter aggregate per-opcode timings onto the plan tree.  ``None``
+    for instructions emitted outside any node scope (glue code).
+    """
 
     results: Tuple[str, ...]
     module: str
     fn: str
     args: Tuple[Arg, ...]
+    node: Optional[int] = None
 
     def render(self) -> str:
         """Human-readable MAL-like text (used by EXPLAIN and tests)."""
@@ -63,6 +70,21 @@ class Instr:
         rhs = ", ".join(repr(a) for a in self.args)
         head = f"{lhs} := " if self.results else ""
         return f"{head}{self.module}.{self.fn}({rhs})"
+
+
+@dataclass
+class PlanNode:
+    """One logical-plan operator (scan, where, aggregate, ...).
+
+    Forms a tree via ``children``; compiled MAL instructions point back at
+    their node through :attr:`Instr.node`, so runtime opcode timings can
+    be re-aggregated onto the operator that asked for them.
+    """
+
+    node_id: int
+    label: str
+    parent: Optional[int] = None
+    children: List[int] = field(default_factory=list)
 
 
 class Program:
@@ -84,11 +106,50 @@ class Program:
         self.inputs: List[str] = list(inputs or [])
         self.output = output
         self._counter = 0
+        # logical-plan annotation layer (EXPLAIN ANALYZE): node registry,
+        # the open-node stack driving emit() tagging, and the runtime
+        # stats the interpreter flushes back ({node_id: [calls, s, rows]})
+        self.nodes: Dict[int, PlanNode] = {}
+        self.plan_root: Optional[int] = None
+        self._node_stack: List[int] = []
+        self._node_counter = 0
+        self.node_stats: Dict[Optional[int], List[float]] = {}
 
     def fresh(self, prefix: str = "v") -> str:
         """Allocate a fresh variable name."""
         self._counter += 1
         return f"{prefix}{self._counter}"
+
+    # ------------------------------------------------------------------
+    # logical-plan nodes (EXPLAIN ANALYZE)
+    # ------------------------------------------------------------------
+    def begin_node(self, label: str) -> int:
+        """Open a plan node; instructions emitted until the matching
+        :meth:`end_node` are tagged with it.  Nested opens build the
+        operator tree."""
+        self._node_counter += 1
+        node_id = self._node_counter
+        parent = self._node_stack[-1] if self._node_stack else None
+        node = PlanNode(node_id, label, parent=parent)
+        self.nodes[node_id] = node
+        if parent is not None:
+            self.nodes[parent].children.append(node_id)
+        elif self.plan_root is None:
+            self.plan_root = node_id
+        self._node_stack.append(node_id)
+        return node_id
+
+    def end_node(self) -> None:
+        if not self._node_stack:
+            raise MalError("end_node() without a matching begin_node()")
+        self._node_stack.pop()
+
+    def node(self, label: str) -> "_NodeScope":
+        """``with program.node("where"): ...`` — scoped begin/end."""
+        return _NodeScope(self, label)
+
+    def current_node(self) -> Optional[int]:
+        return self._node_stack[-1] if self._node_stack else None
 
     def emit(
         self,
@@ -107,7 +168,9 @@ class Program:
             names = tuple(self.fresh(prefix) for _ in range(results))
         else:
             names = tuple(results)
-        self.instructions.append(Instr(names, module, fn, tuple(args)))
+        self.instructions.append(
+            Instr(names, module, fn, tuple(args), node=self.current_node())
+        )
         if len(names) == 1:
             return names[0]
         return names
@@ -135,6 +198,73 @@ class Program:
             defined.update(ins.results)
         if self.output and self.output not in defined:
             raise MalError(f"output variable {self.output!r} never defined")
+
+    # ------------------------------------------------------------------
+    # EXPLAIN ANALYZE rendering
+    # ------------------------------------------------------------------
+    def analyzed_seconds(self) -> float:
+        """Total interpreter seconds attributed to plan nodes (or glue)."""
+        return sum(slot[1] for slot in self.node_stats.values())
+
+    def render_analyze(self) -> str:
+        """The annotated plan tree: cumulative time, calls, and rows per
+        operator, aggregated from interpreter opcode timings.
+
+        Node times are *cumulative over activations* — a continuous query
+        runs the same program on every firing, so EXPLAIN ANALYZE here
+        answers "where has query Q spent its time so far", the streaming
+        analogue of the one-shot variant.
+        """
+        lines = [f"continuous query {self.name}"]
+        if self.plan_root is None:
+            lines.append("  (no plan annotations)")
+        else:
+            self._render_node(self.plan_root, 1, lines)
+        glue = self.node_stats.get(None)
+        if glue is not None:
+            lines.append(
+                "  (glue) " + self._format_stats(glue)
+            )
+        total = self.analyzed_seconds()
+        lines.append(f"total analyzed: {total * 1e3:.3f} ms")
+        return "\n".join(lines)
+
+    def _render_node(self, node_id: int, depth: int, lines: List[str]) -> None:
+        node = self.nodes[node_id]
+        stats = self.node_stats.get(node_id)
+        suffix = (
+            "  " + self._format_stats(stats)
+            if stats is not None
+            else "  (never executed)"
+        )
+        lines.append("  " * depth + node.label + suffix)
+        for child in node.children:
+            self._render_node(child, depth + 1, lines)
+
+    @staticmethod
+    def _format_stats(slot: List[float]) -> str:
+        calls, seconds, rows = slot
+        return (
+            f"[time={seconds * 1e3:.3f} ms, calls={int(calls)}, "
+            f"rows={int(rows)}]"
+        )
+
+
+class _NodeScope:
+    """Context manager pairing ``begin_node``/``end_node``."""
+
+    __slots__ = ("_program", "_label", "_node_id")
+
+    def __init__(self, program: Program, label: str):
+        self._program = program
+        self._label = label
+
+    def __enter__(self) -> int:
+        self._node_id = self._program.begin_node(self._label)
+        return self._node_id
+
+    def __exit__(self, *exc: Any) -> None:
+        self._program.end_node()
 
 
 class ResultSet:

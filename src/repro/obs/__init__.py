@@ -9,6 +9,11 @@ need measurements.  This package is the engine-wide measurement substrate:
   zero-cost no-op mode and Prometheus text exposition);
 * :mod:`repro.obs.tracing` — a bounded ring buffer of scheduler decisions
   and factory activations for post-morteming stalled networks;
+* :mod:`repro.obs.spans` — sampled causal span tracing: one root span per
+  appended batch, continued across basket hand-offs, nested per MAL
+  opcode, exportable as Chrome trace-event JSON (Perfetto);
+* :mod:`repro.obs.flightrec` — a stall-detecting watchdog writing JSON
+  post-mortems (basket depths, factory states, spans, thread stacks);
 * :mod:`repro.obs.dashboard` — renders a :meth:`DataCell.stats` snapshot
   as an aligned text dashboard.
 
@@ -29,6 +34,8 @@ from .metrics import (
     set_default_registry,
 )
 from .tracing import TraceEvent, TraceLog
+from .spans import Span, SpanRecorder
+from .flightrec import FlightRecorder, StallEvent
 from .dashboard import render_dashboard
 
 __all__ = [
@@ -42,5 +49,9 @@ __all__ = [
     "set_default_registry",
     "TraceEvent",
     "TraceLog",
+    "Span",
+    "SpanRecorder",
+    "FlightRecorder",
+    "StallEvent",
     "render_dashboard",
 ]

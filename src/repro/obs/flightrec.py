@@ -1,0 +1,350 @@
+"""Flight recorder — stall detection and JSON post-mortems.
+
+A stream engine's worst failure mode is silent: a factory wedges (a bug,
+a lock, an exception swallowed by a thread) and baskets fill while the
+dashboard still renders.  The flight recorder watches for exactly that
+signature — **basket depth rising while scheduler firings stay flat**
+over a configurable observation window — and, when it sees it, writes a
+post-mortem any engineer can open without a debugger attached:
+
+* basket depths, high-waters, and flow counters,
+* factory states (activations, totals, per-input cursors),
+* the last N scheduler trace events,
+* the sampled causal spans (:mod:`repro.obs.spans`),
+* every thread's current stack via :func:`sys._current_frames`.
+
+The same dump fires on an unhandled transition exception (the scheduler's
+``on_exception`` hook) and on demand via
+:meth:`~repro.core.engine.DataCell.dump_flight_record`.
+
+The recorder never drives the engine: :meth:`sample` is called either by
+the optional watchdog thread (:meth:`start`) or explicitly from tests and
+synchronous loops, so stall detection is deterministic when you need it
+to be.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+import traceback
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["FlightRecorder", "StallEvent"]
+
+
+class StallEvent:
+    """One detected stall: which baskets backed up, over what window."""
+
+    def __init__(
+        self,
+        baskets: List[str],
+        transitions: List[str],
+        window_seconds: float,
+        firings: int,
+    ):
+        self.baskets = baskets
+        self.transitions = transitions
+        self.window_seconds = window_seconds
+        self.firings = firings
+        self.detected_at = time.time()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "baskets": self.baskets,
+            "transitions": self.transitions,
+            "window_seconds": self.window_seconds,
+            "firings_during_window": self.firings,
+            "detected_at": self.detected_at,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StallEvent(baskets={self.baskets}, "
+            f"transitions={self.transitions})"
+        )
+
+
+class FlightRecorder:
+    """Watches a DataCell and writes JSON post-mortems.
+
+    ``window`` is the number of consecutive samples a stall signature
+    must persist before it is reported; with the watchdog running at
+    ``interval`` seconds, the observation window is ``window * interval``
+    seconds.  ``auto_dump_path`` makes stalls and transition exceptions
+    write a dump without anyone asking.
+    """
+
+    def __init__(
+        self,
+        cell: Any,
+        window: int = 5,
+        trace_events: int = 64,
+        span_limit: int = 256,
+        auto_dump_path: Optional[str] = None,
+    ):
+        if window < 2:
+            raise ValueError("stall window needs at least 2 samples")
+        self.cell = cell
+        self.window = window
+        self.trace_events = trace_events
+        self.span_limit = span_limit
+        self.auto_dump_path = auto_dump_path
+        self._lock = threading.Lock()
+        # (monotonic time, total firings, {basket: depth})
+        self._samples: Deque[Tuple[float, int, Dict[str, int]]] = deque(
+            maxlen=window
+        )
+        self._watchdog: Optional[threading.Thread] = None
+        self._watch_stop = threading.Event()
+        self.stalls: List[StallEvent] = []
+        self.exceptions: List[Dict[str, Any]] = []
+        self.last_dump: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    # sampling & stall detection
+    # ------------------------------------------------------------------
+    def sample(self) -> Optional[StallEvent]:
+        """Record one observation; returns a stall event if the window
+        now shows the stall signature (depth rising, firings flat)."""
+        depths = {
+            basket.name: basket.count
+            for basket in self.cell.catalog.baskets()
+        }
+        with self._lock:
+            self._samples.append(
+                (time.monotonic(), self.cell.scheduler.total_firings, depths)
+            )
+            stall = self._evaluate_locked()
+        if stall is not None:
+            self.stalls.append(stall)
+            self.cell.trace.record(
+                "stall",
+                ",".join(stall.baskets),
+                transitions=",".join(stall.transitions),
+            )
+            if self.auto_dump_path:
+                self.dump(self.auto_dump_path, reason="stall")
+        return stall
+
+    def _evaluate_locked(self) -> Optional[StallEvent]:
+        if len(self._samples) < self.window:
+            return None
+        first_t, first_f, first_d = self._samples[0]
+        last_t, last_f, last_d = self._samples[-1]
+        if last_f != first_f:
+            return None  # the scheduler is making progress
+        stalled: List[str] = []
+        for name, depth in last_d.items():
+            start = first_d.get(name)
+            if start is None or depth <= start:
+                continue
+            # require monotone non-decreasing depth across every sample:
+            # a basket that drained mid-window is being consumed, just
+            # slower than it fills — back-pressure, not a stall
+            series = [d.get(name, 0) for _, _, d in self._samples]
+            if all(b >= a for a, b in zip(series, series[1:])):
+                stalled.append(name)
+        if not stalled:
+            return None
+        # clear the window so one stall is reported once, not per sample
+        self._samples.clear()
+        return StallEvent(
+            stalled,
+            self._transitions_reading(stalled),
+            last_t - first_t,
+            last_f - first_f,
+        )
+
+    def _transitions_reading(self, baskets: List[str]) -> List[str]:
+        """The factories/emitters whose inputs are the stalled baskets —
+        the transitions that should have been draining them."""
+        wanted = {b.lower() for b in baskets}
+        out: List[str] = []
+        for transition in self.cell.scheduler.transitions():
+            reads: List[str] = []
+            for binding in getattr(transition, "inputs", []):
+                reads.append(binding.basket.name.lower())
+            source = getattr(transition, "source", None)
+            if source is not None:
+                reads.append(source.name.lower())
+            if wanted & set(reads):
+                out.append(transition.name)
+        return out
+
+    # ------------------------------------------------------------------
+    # watchdog thread
+    # ------------------------------------------------------------------
+    def start(self, interval: float = 0.5) -> None:
+        """Start the watchdog thread sampling every ``interval`` seconds."""
+        if self._watchdog is not None:
+            return
+        self._watch_stop.clear()
+        self._watchdog = threading.Thread(
+            target=self._watch, args=(interval,),
+            name="datacell-flightrec", daemon=True,
+        )
+        self._watchdog.start()
+
+    def stop(self) -> None:
+        self._watch_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=5.0)
+            self._watchdog = None
+
+    @property
+    def running(self) -> bool:
+        return self._watchdog is not None and self._watchdog.is_alive()
+
+    def _watch(self, interval: float) -> None:
+        while not self._watch_stop.wait(interval):
+            try:
+                self.sample()
+            except Exception:  # pragma: no cover - watchdog must survive
+                pass
+
+    # ------------------------------------------------------------------
+    # exception capture (scheduler.on_exception hook)
+    # ------------------------------------------------------------------
+    def record_exception(self, transition: str, exc: BaseException) -> None:
+        """Capture an unhandled transition exception (and auto-dump)."""
+        entry = {
+            "transition": transition,
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exception(
+                type(exc), exc, exc.__traceback__
+            ),
+            "time": time.time(),
+        }
+        with self._lock:
+            self.exceptions.append(entry)
+            del self.exceptions[:-32]  # bound memory on crash loops
+        if self.auto_dump_path:
+            self.dump(self.auto_dump_path, reason="exception")
+
+    # ------------------------------------------------------------------
+    # the post-mortem itself
+    # ------------------------------------------------------------------
+    def snapshot(self, reason: str = "manual") -> Dict[str, Any]:
+        """Build the post-mortem document (JSON-serializable)."""
+        cell = self.cell
+        baskets: Dict[str, Any] = {}
+        for basket in cell.catalog.baskets():
+            baskets[basket.name] = {
+                "depth": basket.count,
+                "high_water": basket.high_water,
+                "inserted": basket.total_in,
+                "consumed": basket.total_out,
+                "shed": basket.total_shed,
+                "capacity": basket.capacity,
+                "min_count": basket.min_count,
+                "readers": basket.readers(),
+            }
+        factories: Dict[str, Any] = {}
+        transitions: Dict[str, Any] = {}
+        for transition in cell.scheduler.transitions():
+            transitions[transition.name] = {
+                "kind": type(transition).__name__,
+                "priority": transition.priority,
+                "enabled": _safe_enabled(transition),
+            }
+            bindings = getattr(transition, "inputs", None)
+            if bindings is None:
+                continue
+            factories[transition.name] = {
+                "activations": transition.activations,
+                "tuples_in": transition.total_in,
+                "tuples_out": transition.total_out,
+                "total_elapsed": transition.total_elapsed,
+                "plan": transition.plan.describe(),
+                "inputs": [
+                    {
+                        "basket": b.basket.name,
+                        "mode": b.mode.value,
+                        "last_seen_seq": b.last_seen_seq,
+                        "min_tuples": b.min_tuples,
+                    }
+                    for b in bindings
+                ],
+                "outputs": [b.name for b in transition.outputs],
+            }
+        spans = getattr(cell, "spans", None)
+        span_dump: Dict[str, Any] = {}
+        if spans is not None:
+            span_dump = {
+                "batches_seen": spans.batches_seen,
+                "sampled_batches": spans.sampled_batches,
+                "finished": [
+                    s.to_dict() for s in spans.spans()[-self.span_limit:]
+                ],
+                "open_roots": [s.to_dict() for s in spans.open_roots()],
+            }
+        with self._lock:
+            history = [
+                {"t": t, "firings": f, "depths": dict(d)}
+                for t, f, d in self._samples
+            ]
+            stalls = [s.to_dict() for s in self.stalls]
+            exceptions = list(self.exceptions)
+        doc = {
+            "reason": reason,
+            "generated_at": time.time(),
+            "scheduler": {
+                "total_firings": cell.scheduler.total_firings,
+                "total_iterations": cell.scheduler.total_iterations,
+                "running": cell.scheduler.running,
+            },
+            "baskets": baskets,
+            "factories": factories,
+            "transitions": transitions,
+            "stalls": stalls,
+            "exceptions": exceptions,
+            "sample_history": history,
+            "trace_events": [
+                {
+                    "ts": e.ts,
+                    "kind": e.kind,
+                    "component": e.component,
+                    "detail": dict(e.detail),
+                }
+                for e in cell.trace.events()[-self.trace_events:]
+            ],
+            "spans": span_dump,
+            "thread_stacks": _thread_stacks(),
+        }
+        return doc
+
+    def dump(self, path: str, reason: str = "manual") -> Dict[str, Any]:
+        """Write the post-mortem JSON to ``path`` (atomic rename)."""
+        import os
+
+        doc = self.snapshot(reason=reason)
+        self.last_dump = doc
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(doc, handle, indent=1, default=str)
+        os.replace(tmp, path)
+        return doc
+
+
+def _safe_enabled(transition: Any) -> Optional[bool]:
+    """A transition's enablement, or None if asking it raises (the whole
+    point of a flight recorder is surviving broken components)."""
+    try:
+        return bool(transition.enabled())
+    except Exception:
+        return None
+
+
+def _thread_stacks() -> Dict[str, List[str]]:
+    """Formatted stacks of every live thread, keyed by thread name."""
+    names = {t.ident: t.name for t in threading.enumerate()}
+    out: Dict[str, List[str]] = {}
+    for ident, frame in sys._current_frames().items():
+        key = f"{names.get(ident, 'unknown')} ({ident})"
+        out[key] = traceback.format_stack(frame)
+    return out

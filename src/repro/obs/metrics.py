@@ -481,7 +481,9 @@ class MetricsRegistry:
             if not children:
                 continue
             if family.help:
-                lines.append(f"# HELP {family.name} {family.help}")
+                lines.append(
+                    f"# HELP {family.name} {_escape_help(family.help)}"
+                )
             lines.append(f"# TYPE {family.name} {family.kind}")
             for key, child in sorted(children.items()):
                 if family.kind == "histogram":
@@ -512,7 +514,16 @@ def _labels_text(names: Iterable[str], values: Iterable[str]) -> str:
 
 
 def _escape(value: str) -> str:
+    """Escape a label value per the Prometheus text format: backslash,
+    double-quote, and line feed (in that order — backslash first so the
+    escapes themselves survive)."""
     return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _escape_help(value: str) -> str:
+    """Escape HELP text per the Prometheus text format: only backslash
+    and line feed (double quotes are legal verbatim outside label values)."""
+    return value.replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _fmt(value: float) -> str:

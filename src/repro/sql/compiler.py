@@ -52,6 +52,7 @@ from .ast_nodes import (
     SubquerySource,
     TableSource,
     UnaryOp,
+    UnionSelect,
     walk_sources,
 )
 from .binder import BoundColumn, Relation
@@ -157,26 +158,38 @@ class _SelectCompiler:
     # entry
     # ------------------------------------------------------------------
     def compile(self, select: Select) -> Tuple[Relation, List[str]]:
-        """Compile; returns (output relation, output names)."""
-        rel = self._compile_sources(select.sources)
+        """Compile; returns (output relation, output names).
+
+        Each logical phase opens a :meth:`Program.node` scope, so every
+        emitted instruction carries a back-pointer to the plan operator it
+        implements — the EXPLAIN ANALYZE aggregation key.
+        """
+        with self.prog.node("from"):
+            rel = self._compile_sources(select.sources)
         if select.where is not None:
-            rel = self._compile_filter(rel, select.where)
+            with self.prog.node("where"):
+                rel = self._compile_filter(rel, select.where)
         has_aggregates = self._uses_aggregates(select)
         pre_projection: Optional[Relation] = None
         if has_aggregates or select.group_by:
-            rel, names = self._compile_aggregation(rel, select)
+            with self.prog.node("aggregate"):
+                rel, names = self._compile_aggregation(rel, select)
         else:
             pre_projection = rel
-            rel, names = self._compile_projection(rel, select.items)
+            with self.prog.node("project"):
+                rel, names = self._compile_projection(rel, select.items)
         if select.distinct:
-            rel = self._compile_distinct(rel)
+            with self.prog.node("distinct"):
+                rel = self._compile_distinct(rel)
             pre_projection = None  # dedup breaks row alignment
         if select.order_by:
-            rel = self._compile_order(
-                rel, names, select.order_by, pre_projection
-            )
+            with self.prog.node("order by"):
+                rel = self._compile_order(
+                    rel, names, select.order_by, pre_projection
+                )
         if select.limit is not None:
-            rel = self._compile_limit(rel, select.limit)
+            with self.prog.node("limit"):
+                rel = self._compile_limit(rel, select.limit)
         return rel, names
 
     # ------------------------------------------------------------------
@@ -201,7 +214,8 @@ class _SelectCompiler:
                 self.catalog, self.prog, self.basket_inputs,
                 self.allow_baskets,
             )
-            rel, names = inner.compile(source.select)
+            with self.prog.node("subquery"):
+                rel, names = inner.compile(source.select)
             alias = source.binding_name
             return Relation(
                 [
@@ -217,28 +231,30 @@ class _SelectCompiler:
         table = self.catalog.get(source.name)
         alias = source.binding_name
         rel = Relation()
-        # Rebase to a dense-0 head so positions == candidate oids
-        # throughout the plan (see module docstring invariant).
-        first = self.prog.emit(
-            "sql", "bind", [Const(table.name), Const(table.schema.columns[0].name)]
-        )
-        cands = self.prog.emit("algebra", "densecands", [Var(first)])
-        for col in table.schema:
-            bound = self.prog.emit(
-                "sql", "bind", [Const(table.name), Const(col.name)]
+        with self.prog.node(f"scan {table.name}"):
+            # Rebase to a dense-0 head so positions == candidate oids
+            # throughout the plan (see module docstring invariant).
+            first = self.prog.emit(
+                "sql", "bind",
+                [Const(table.name), Const(table.schema.columns[0].name)],
             )
-            rebased = self.prog.emit(
-                "algebra", "projection", [Var(cands), Var(bound)]
-            )
-            rel.add(
-                BoundColumn(
-                    alias,
-                    col.name.lower(),
-                    rebased,
-                    col.atom,
-                    hidden=(col.name.lower() == TIME_COLUMN),
+            cands = self.prog.emit("algebra", "densecands", [Var(first)])
+            for col in table.schema:
+                bound = self.prog.emit(
+                    "sql", "bind", [Const(table.name), Const(col.name)]
                 )
-            )
+                rebased = self.prog.emit(
+                    "algebra", "projection", [Var(cands), Var(bound)]
+                )
+                rel.add(
+                    BoundColumn(
+                        alias,
+                        col.name.lower(),
+                        rebased,
+                        col.atom,
+                        hidden=(col.name.lower() == TIME_COLUMN),
+                    )
+                )
         return rel
 
     def _compile_basket_expr(self, source: BasketExpr) -> Relation:
@@ -270,6 +286,9 @@ class _SelectCompiler:
         inner_alias = table_src.binding_name
         # Snapshot columns arrive as program inputs "<outer alias>.<col>".
         outer_alias = source.binding_name
+        # one plan node per basket expression: its selections/limits are
+        # the window predicate, reported as a unit by EXPLAIN ANALYZE
+        self.prog.begin_node(f"basket {basket.name}")
         rel = Relation()
         for col in basket.schema:
             var = f"{outer_alias}.{col.name.lower()}"
@@ -325,9 +344,14 @@ class _SelectCompiler:
         for col in projected:
             if col.hidden and col.name not in present:
                 inner_rel.add(col)
+        self.prog.end_node()
         return inner_rel
 
     def _compile_join(self, source: JoinSource) -> Relation:
+        with self.prog.node("join"):
+            return self._compile_join_body(source)
+
+    def _compile_join_body(self, source: JoinSource) -> Relation:
         left = self._compile_source(source.left)
         right = self._compile_source(source.right)
         if source.kind == "cross" or source.condition is None:
@@ -1070,19 +1094,21 @@ def compile_select(catalog: Catalog, select: Select) -> CompiledQuery:
     """Compile a one-time SELECT over catalog tables."""
     program = Program(name="query")
     compiler = _SelectCompiler(catalog, program, [], allow_baskets=False)
-    rel, names = compiler.compile(select)
-    program.output = program.emit(
-        "sql",
-        "resultset",
-        [Const(tuple(names))] + [Var(c.var) for c in rel.columns],
-    )
+    with program.node("select"):
+        rel, names = compiler.compile(select)
+        with program.node("result"):
+            program.output = program.emit(
+                "sql",
+                "resultset",
+                [Const(tuple(names))] + [Var(c.var) for c in rel.columns],
+            )
     program.validate()
     return CompiledQuery(
         program, names, [c.atom for c in rel.columns], []
     )
 
 
-def compile_union(catalog: Catalog, union: "UnionSelect") -> CompiledQuery:
+def compile_union(catalog: Catalog, union: UnionSelect) -> CompiledQuery:
     """Compile a one-time UNION [ALL] chain.
 
     Members must agree on arity; numeric columns are widened to the common
@@ -1091,8 +1117,6 @@ def compile_union(catalog: Catalog, union: "UnionSelect") -> CompiledQuery:
     (``a UNION b UNION ALL c``) the dedup applies to the whole chain when
     any member is non-ALL, rather than per prefix.
     """
-    from .ast_nodes import UnionSelect
-
     members: List[Select] = []
 
     def flatten(stmt) -> None:
@@ -1104,6 +1128,7 @@ def compile_union(catalog: Catalog, union: "UnionSelect") -> CompiledQuery:
 
     flatten(union)
     program = Program(name="union_query")
+    program.begin_node("union")
     compiled_members = []
     for member in members:
         compiler = _SelectCompiler(catalog, program, [], allow_baskets=False)
@@ -1149,18 +1174,19 @@ def compile_union(catalog: Catalog, union: "UnionSelect") -> CompiledQuery:
     if not is_all:
         helper = _SelectCompiler(catalog, program, [], allow_baskets=False)
         out_rel = helper._compile_distinct(out_rel)
-    program.output = program.emit(
-        "sql",
-        "resultset",
-        [Const(tuple(first_names))] + [Var(c.var) for c in out_rel.columns],
-    )
+    with program.node("result"):
+        program.output = program.emit(
+            "sql",
+            "resultset",
+            [Const(tuple(first_names))]
+            + [Var(c.var) for c in out_rel.columns],
+        )
+    program.end_node()
     program.validate()
     return CompiledQuery(program, first_names, out_atoms, [])
 
 
 def _union_nodes(union):
-    from .ast_nodes import UnionSelect
-
     out = []
     node = union
     while isinstance(node, UnionSelect):
@@ -1176,17 +1202,19 @@ def compile_continuous(catalog: Catalog, select: Select) -> CompiledQuery:
     compiler = _SelectCompiler(
         catalog, program, basket_inputs, allow_baskets=True
     )
-    rel, names = compiler.compile(select)
-    if not basket_inputs:
-        raise BindError(
-            "a continuous query must contain a basket expression "
-            "([select ...])"
-        )
-    program.output = program.emit(
-        "sql",
-        "resultset",
-        [Const(tuple(names))] + [Var(c.var) for c in rel.columns],
-    )
+    with program.node("continuous select"):
+        rel, names = compiler.compile(select)
+        if not basket_inputs:
+            raise BindError(
+                "a continuous query must contain a basket expression "
+                "([select ...])"
+            )
+        with program.node("result"):
+            program.output = program.emit(
+                "sql",
+                "resultset",
+                [Const(tuple(names))] + [Var(c.var) for c in rel.columns],
+            )
     program.validate()
     return CompiledQuery(
         program, names, [c.atom for c in rel.columns], basket_inputs

@@ -65,6 +65,11 @@ def _clone(program: Program, instructions: List[Instr]) -> Program:
     )
     out.instructions = list(instructions)
     out._counter = program._counter
+    # carry the logical-plan annotation layer: instructions keep their
+    # node back-pointers, so the optimized program must keep the tree
+    out.nodes = dict(program.nodes)
+    out.plan_root = program.plan_root
+    out._node_counter = program._node_counter
     return out
 
 
@@ -93,7 +98,7 @@ def eliminate_common_subexpressions(
             Var(rename.get(a.name, a.name)) if isinstance(a, Var) else a
             for a in ins.args
         )
-        renamed = Instr(ins.results, ins.module, ins.fn, args)
+        renamed = Instr(ins.results, ins.module, ins.fn, args, node=ins.node)
         if ins.module in _EFFECTFUL_MODULES:
             kept.append(renamed)
             continue
@@ -180,7 +185,10 @@ def fold_constants(program: Program) -> Tuple[Program, int]:
                 out.append(ins)
                 continue
             out.append(
-                Instr(ins.results, "language", "pass", (Const(value),))
+                Instr(
+                    ins.results, "language", "pass", (Const(value),),
+                    node=ins.node,
+                )
             )
             folded += 1
             continue

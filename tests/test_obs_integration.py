@@ -29,7 +29,9 @@ class TestStatsShape:
     def test_top_level_sections(self):
         cell, _ = build_cell()
         stats = cell.stats()
-        assert set(stats) == {"scheduler", "baskets", "queries", "mal"}
+        assert set(stats) == {
+            "scheduler", "baskets", "queries", "mal", "spans",
+        }
 
     def test_scheduler_section(self):
         cell, _ = build_cell()

@@ -241,6 +241,42 @@ class TestPrometheusText:
         text = reg.to_prometheus_text()
         assert r'c_total{q="a\"b\\c"} 1' in text
 
+    def test_label_newline_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels=("q",)).labels("line1\nline2").inc()
+        text = reg.to_prometheus_text()
+        assert r'c_total{q="line1\nline2"} 1' in text
+        # escaping must keep the exposition line-oriented: no sample line
+        # may be split by a raw label newline
+        assert "line1\nline2" not in text
+
+    def test_label_escape_order_backslash_first(self):
+        # a pre-escaped-looking value must round-trip: \n in the input is
+        # backslash+n, not a newline, and must render as \\n
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels=("q",)).labels("a\\nb").inc()
+        text = reg.to_prometheus_text()
+        assert 'c_total{q="a\\\\nb"} 1' in text
+
+    def test_help_text_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "c_total", "first line\nsecond \\ line", ("l",)
+        ).labels("x").inc()
+        text = reg.to_prometheus_text()
+        assert r"# HELP c_total first line\nsecond \\ line" in text
+        for line in text.splitlines():
+            if line.startswith("# HELP"):
+                assert "second" in line  # HELP stayed a single line
+
+    def test_help_quotes_stay_verbatim(self):
+        # per the text format, double quotes are only escaped inside
+        # label values, not HELP text
+        reg = MetricsRegistry()
+        reg.counter("c_total", 'the "hot" path', ("l",)).labels("x").inc()
+        text = reg.to_prometheus_text()
+        assert '# HELP c_total the "hot" path' in text
+
     def test_empty_family_omitted(self):
         reg = MetricsRegistry()
         reg.counter("never_used_total", "unused", ("l",))

@@ -1,0 +1,199 @@
+"""Causal span tracing: sampling, hand-off chains, Chrome trace export.
+
+The acceptance test for the tracing tentpole lives here: every sampled
+batch produces exactly one root span, and the exported Chrome trace JSON
+shows the receptor → factory → opcode → emitter causal nesting.
+"""
+
+import json
+
+from repro import DataCell
+from repro.obs.spans import SpanRecorder
+
+CQ = (
+    "select s.sensor, s.temp from "
+    "[select * from sensors where sensors.temp > 30.0] as s"
+)
+
+
+def build_cell(sample_rate=1):
+    spans = SpanRecorder(sample_rate=sample_rate)
+    cell = DataCell(spans=spans)
+    cell.execute("create basket sensors (sensor int, temp double)")
+    query = cell.submit_continuous(CQ, name="hot")
+    receptor = cell.add_receptor("rx", ["sensors"])
+    return cell, query, receptor, spans
+
+
+def push_batches(cell, receptor, n, rows_per_batch=3):
+    """Drive n receptor activations, each appending one sampled batch."""
+    for batch in range(n):
+        for row in range(rows_per_batch):
+            receptor.channel.push(f"{batch * 10 + row}, {40.0 + row}")
+        cell.run_until_quiescent()
+
+
+class TestSampling:
+    def test_every_batch_sampled_at_rate_one(self):
+        cell, _, receptor, spans = build_cell(sample_rate=1)
+        push_batches(cell, receptor, 5)
+        assert spans.batches_seen == 5
+        assert spans.sampled_batches == 5
+
+    def test_deterministic_one_in_n(self):
+        cell, _, receptor, spans = build_cell(sample_rate=4)
+        push_batches(cell, receptor, 8)
+        assert spans.batches_seen == 8
+        assert spans.sampled_batches == 2  # batches 0 and 4
+
+    def test_unsampled_batches_produce_no_spans(self):
+        cell, query, receptor, spans = build_cell(sample_rate=100)
+        push_batches(cell, receptor, 3)
+        assert spans.sampled_batches == 1  # batch 0 only
+        assert len(spans.spans(kind="batch")) == 1
+        # the data still flows: tracing never gates delivery
+        assert query.results_delivered == 9
+
+    def test_disabled_recorder_records_nothing(self):
+        spans = SpanRecorder(enabled=False)
+        cell = DataCell(spans=spans)
+        cell.execute("create basket sensors (sensor int, temp double)")
+        query = cell.submit_continuous(CQ)
+        receptor = cell.add_receptor("rx", ["sensors"])
+        push_batches(cell, receptor, 2)
+        assert spans.batches_seen == 0
+        assert len(spans) == 0
+        assert query.results_delivered == 6
+
+
+class TestCausalNesting:
+    """One root per sampled batch, with the full causal chain beneath."""
+
+    def test_root_spans_match_sampled_batches(self):
+        cell, _, receptor, spans = build_cell(sample_rate=1)
+        push_batches(cell, receptor, 4)
+        roots = spans.spans(kind="batch")
+        assert len(roots) == spans.sampled_batches == 4
+        assert spans.open_roots() == []  # emitters closed every root
+
+    def test_chrome_trace_nesting(self, tmp_path):
+        cell, _, receptor, spans = build_cell(sample_rate=1)
+        push_batches(cell, receptor, 2)
+        path = str(tmp_path / "trace.json")
+        cell.export_chrome_trace(path)
+        with open(path) as handle:
+            trace = json.load(handle)
+        events = trace["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
+
+        by_id = {e["args"]["span_id"]: e for e in events}
+        roots = [e for e in events if e["cat"] == "batch"]
+        assert len(roots) == 2
+        for root in roots:
+            token = root["args"]["token"]
+            children = [
+                e for e in events
+                if e["args"].get("token") == token and e is not root
+            ]
+            kinds = {e["cat"] for e in children}
+            assert kinds == {"receptor", "factory", "opcode", "emitter"}
+            receptor_s = next(
+                e for e in children if e["cat"] == "receptor"
+            )
+            factory_s = next(
+                e for e in children if e["cat"] == "factory"
+            )
+            emitter_s = next(
+                e for e in children if e["cat"] == "emitter"
+            )
+            opcodes = [e for e in children if e["cat"] == "opcode"]
+            # receptor continues the root; the factory continues the
+            # receptor's hand-off; opcodes nest inside the factory span;
+            # the emitter continues the factory's hand-off
+            assert receptor_s["args"]["parent_id"] == root["args"]["span_id"]
+            assert (
+                factory_s["args"]["parent_id"]
+                == receptor_s["args"]["span_id"]
+            )
+            assert opcodes, "interpreter emitted no per-opcode spans"
+            for op in opcodes:
+                assert (
+                    op["args"]["parent_id"] == factory_s["args"]["span_id"]
+                )
+            assert (
+                emitter_s["args"]["parent_id"]
+                == factory_s["args"]["span_id"]
+            )
+            # every parent is itself a recorded span
+            for e in children:
+                assert e["args"]["parent_id"] in by_id
+
+    def test_span_timings_nest_within_parents(self):
+        cell, _, receptor, spans = build_cell(sample_rate=1)
+        push_batches(cell, receptor, 1)
+        root = spans.spans(kind="batch")[0]
+        for kind in ("receptor", "factory", "emitter"):
+            child = spans.spans(kind=kind)[0]
+            assert child.start >= root.start
+            assert child.end <= root.end
+
+    def test_opcode_spans_carry_plan_node(self):
+        cell, _, receptor, spans = build_cell(sample_rate=1)
+        push_batches(cell, receptor, 1)
+        opcodes = spans.spans(kind="opcode")
+        assert opcodes
+        assert any(op.attrs.get("node") is not None for op in opcodes)
+
+
+class TestRecorderUnit:
+    def test_handoff_chain(self):
+        rec = SpanRecorder(sample_rate=1)
+        token = rec.begin_batch()
+        a = rec.begin_stage("a", "receptor", token)
+        assert a.parent_id == token
+        rec.end_stage(a, handoff=True)
+        b = rec.begin_stage("b", "factory", token)
+        assert b.parent_id == a.span_id
+        rec.end_stage(b)  # no hand-off: next stage still chains from a
+        c = rec.begin_stage("c", "factory", token)
+        assert c.parent_id == a.span_id
+
+    def test_zero_token_stage_is_free(self):
+        rec = SpanRecorder(sample_rate=1)
+        assert rec.begin_stage("x", "factory", 0) is None
+
+    def test_close_root_idempotent(self):
+        rec = SpanRecorder(sample_rate=1)
+        token = rec.begin_batch()
+        rec.close_root(token)
+        first_end = rec.spans(kind="batch")[0].end
+        rec.close_root(token)  # replicated output: second emitter closes too
+        roots = rec.spans(kind="batch")
+        assert len(roots) == 1
+        assert roots[0].end >= first_end
+
+    def test_capacity_bounds_memory(self):
+        rec = SpanRecorder(sample_rate=1, capacity=8)
+        for _ in range(20):
+            token = rec.begin_batch()
+            rec.close_root(token)
+        assert len(rec) == 8
+
+    def test_current_stage_thread_local_context(self):
+        rec = SpanRecorder(sample_rate=1)
+        token = rec.begin_batch()
+        span = rec.begin_stage("f", "factory", token)
+        assert rec.current_stage() is None
+        with rec.stage(span):
+            assert rec.current_stage() is span
+        assert rec.current_stage() is None
+
+    def test_export_is_valid_json_with_open_roots(self, tmp_path):
+        rec = SpanRecorder(sample_rate=1)
+        rec.begin_batch()  # never closed: rendered to "now"
+        path = str(tmp_path / "open.json")
+        rec.export_chrome_trace(path)
+        with open(path) as handle:
+            trace = json.load(handle)
+        assert trace["displayTimeUnit"] == "ms"
+        assert len(trace["traceEvents"]) == 1
