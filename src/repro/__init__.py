@@ -24,11 +24,11 @@ claims reproduced by the benchmark suite.
 """
 
 from .core.basket import Basket
-from .core.clock import LogicalClock, MonotonicClock, WallClock
+from .core.clock import LogicalClock, MonotonicClock, VirtualClock, WallClock
 from .core.continuous import ContinuousQuery
 from .core.engine import DataCell
 from .core.factory import CallablePlan, ConsumeMode, Factory, InputBinding
-from .core.scheduler import Scheduler
+from .core.scheduler import FiringPolicy, PriorityPolicy, Scheduler
 from .core.windows import WindowMode, WindowSpec
 from .kernel import AtomType, BAT, Catalog, ResultSet, Table
 from .obs import MetricsRegistry, TraceLog
@@ -42,12 +42,15 @@ __all__ = [
     "ConsumeMode",
     "InputBinding",
     "Scheduler",
+    "FiringPolicy",
+    "PriorityPolicy",
     "MetricsRegistry",
     "TraceLog",
     "WindowSpec",
     "WindowMode",
     "LogicalClock",
     "MonotonicClock",
+    "VirtualClock",
     "WallClock",
     "AtomType",
     "BAT",

@@ -1,8 +1,10 @@
 """Synthetic workload generators for examples, tests and benchmarks.
 
 All generators take an explicit seed so benchmark runs are reproducible;
-they return plain row tuples ready for ``Basket.insert_rows`` or channel
-pushes.
+when the seed is omitted they fall back to the run-wide base seed from
+:func:`repro.testing.current_seed` (``DATACELL_SEED``), so defaults flow
+through the one seeding path too.  They return plain row tuples ready
+for ``Basket.insert_rows`` or channel pushes.
 """
 
 from __future__ import annotations
@@ -10,6 +12,8 @@ from __future__ import annotations
 import random
 import string
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from ..testing import current_seed
 
 __all__ = [
     "uniform_ints",
@@ -22,18 +26,18 @@ __all__ = [
 
 
 def uniform_ints(
-    count: int, low: int = 0, high: int = 1000, seed: int = 42
+    count: int, low: int = 0, high: int = 1000, seed: Optional[int] = None
 ) -> List[Tuple[int]]:
     """``count`` single-column rows uniform in [low, high]."""
-    rng = random.Random(seed)
+    rng = random.Random(current_seed() if seed is None else seed)
     return [(rng.randint(low, high),) for _ in range(count)]
 
 
 def zipf_ints(
-    count: int, n_values: int = 1000, alpha: float = 1.2, seed: int = 42
+    count: int, n_values: int = 1000, alpha: float = 1.2, seed: Optional[int] = None
 ) -> List[Tuple[int]]:
     """Zipf-skewed keys in [0, n_values) — hot-key workloads."""
-    rng = random.Random(seed)
+    rng = random.Random(current_seed() if seed is None else seed)
     weights = [1.0 / ((i + 1) ** alpha) for i in range(n_values)]
     total = sum(weights)
     cumulative = []
@@ -50,9 +54,9 @@ def zipf_ints(
 
 
 def gaussian_doubles(
-    count: int, mean: float = 0.0, stddev: float = 1.0, seed: int = 42
+    count: int, mean: float = 0.0, stddev: float = 1.0, seed: Optional[int] = None
 ) -> List[Tuple[float]]:
-    rng = random.Random(seed)
+    rng = random.Random(current_seed() if seed is None else seed)
     return [(rng.gauss(mean, stddev),) for _ in range(count)]
 
 
@@ -61,7 +65,7 @@ def sensor_readings(
     n_sensors: int = 16,
     base_temp: float = 20.0,
     anomaly_rate: float = 0.02,
-    seed: int = 42,
+    seed: Optional[int] = None,
 ) -> List[Tuple[int, float]]:
     """(sensor_id, temperature) rows with occasional hot anomalies.
 
@@ -69,7 +73,7 @@ def sensor_readings(
     readings hover around ``base_temp``; a small fraction spike, which is
     what the standing alert queries look for.
     """
-    rng = random.Random(seed)
+    rng = random.Random(current_seed() if seed is None else seed)
     rows = []
     for _ in range(count):
         sensor = rng.randrange(n_sensors)
@@ -85,10 +89,10 @@ def stock_ticks(
     count: int,
     symbols: Optional[Sequence[str]] = None,
     start_price: float = 100.0,
-    seed: int = 42,
+    seed: Optional[int] = None,
 ) -> List[Tuple[str, float, int]]:
     """(symbol, price, quantity) random-walk ticks for financial examples."""
-    rng = random.Random(seed)
+    rng = random.Random(current_seed() if seed is None else seed)
     symbols = list(symbols or ("ACME", "GLOBEX", "INITECH", "UMBRELLA"))
     prices = {s: start_price * rng.uniform(0.5, 2.0) for s in symbols}
     rows = []
@@ -104,10 +108,10 @@ def network_packets(
     n_hosts: int = 64,
     suspicious_port: int = 31337,
     attack_rate: float = 0.01,
-    seed: int = 42,
+    seed: Optional[int] = None,
 ) -> List[Tuple[str, str, int, int]]:
     """(src, dst, port, size) packet headers with rare suspicious ports."""
-    rng = random.Random(seed)
+    rng = random.Random(current_seed() if seed is None else seed)
 
     def host() -> str:
         return f"10.0.{rng.randrange(n_hosts) // 256}.{rng.randrange(n_hosts) % 256}"

@@ -16,6 +16,8 @@ import os
 import pathlib
 from typing import Any, Dict, Optional, Sequence
 
+from ..testing import current_seed
+
 __all__ = ["format_table", "print_table", "record_result", "RESULTS_PATH"]
 
 RESULTS_PATH = str(
@@ -72,7 +74,12 @@ def record_result(
 
     Write-temp-then-rename so concurrent benchmark runs never leave a
     torn/half-written file behind; last writer wins per experiment key.
+    Every record is stamped with the run's base seed (see
+    :mod:`repro.testing`) unless the payload already carries one, so a
+    recorded figure names the seed that reproduces it.
     """
+    payload = dict(payload)
+    payload.setdefault("seed", current_seed())
     target = path or RESULTS_PATH
     data: Dict[str, Any] = {}
     if os.path.exists(target):

@@ -1,7 +1,7 @@
 """The DataCell core: baskets, factories, scheduler, strategies, windows."""
 
 from .basket import Basket, BasketSnapshot, TIME_COLUMN
-from .clock import Clock, LogicalClock, WallClock
+from .clock import Clock, LogicalClock, VirtualClock, WallClock
 from .continuous import ContinuousQuery
 from .emitter import CollectingClient, Emitter
 from .engine import DataCell
@@ -16,7 +16,7 @@ from .factory import (
 )
 from .petrinet import MarkedPlace, PetriNet, Place, Transition
 from .receptor import Receptor
-from .scheduler import Scheduler
+from .scheduler import FiringPolicy, PriorityPolicy, Scheduler
 from .shedding import LoadShedController, apply_shedding_policy
 from .topology import NetworkTopology, build_topology
 from .windows import (
@@ -33,6 +33,7 @@ __all__ = [
     "TIME_COLUMN",
     "Clock",
     "LogicalClock",
+    "VirtualClock",
     "WallClock",
     "ContinuousQuery",
     "CollectingClient",
@@ -51,6 +52,8 @@ __all__ = [
     "Transition",
     "Receptor",
     "Scheduler",
+    "FiringPolicy",
+    "PriorityPolicy",
     "LoadShedController",
     "apply_shedding_policy",
     "NetworkTopology",

@@ -388,6 +388,31 @@ class Basket(Table):
         with self.lock:
             return self._next_seq - 1
 
+    def state_digest(self) -> str:
+        """A stable hash of the basket's observable state.
+
+        Covers buffered rows (all columns including ``dc_time``), their
+        sequence numbers, the next-sequence frontier, and every reader
+        cursor — everything that determines future scheduling decisions.
+        Two baskets with equal digests are indistinguishable to the
+        engine, which is how the simulation harness asserts that a
+        ``(seed, policy, fault plan)`` episode is bit-reproducible.
+        Hidden monotonic stamps are deliberately excluded: they are real
+        wall-time and would differ across otherwise identical runs.
+        """
+        import hashlib
+
+        with self.lock:
+            parts: List[str] = [
+                repr(self._next_seq),
+                repr(self._seq.tail.tolist()),
+                repr(sorted(self._readers.items())),
+            ]
+            for col in self.schema:
+                parts.append(col.name.lower())
+                parts.append(repr(self.bat(col.name).tail.tolist()))
+        return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
     # ------------------------------------------------------------------
     # shared-baskets reader protocol (paper §2.5, second strategy)
     # ------------------------------------------------------------------

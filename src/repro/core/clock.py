@@ -8,10 +8,18 @@ time) or a :class:`LogicalClock` (manually advanced ticks).
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
+from typing import Callable, List, Tuple
 
-__all__ = ["Clock", "WallClock", "MonotonicClock", "LogicalClock"]
+__all__ = [
+    "Clock",
+    "WallClock",
+    "MonotonicClock",
+    "LogicalClock",
+    "VirtualClock",
+]
 
 
 class Clock:
@@ -74,3 +82,65 @@ class LogicalClock(Clock):
             if timestamp < self._now:
                 raise ValueError("time cannot go backwards")
             self._now = float(timestamp)
+
+
+class VirtualClock(LogicalClock):
+    """Simulated time: a :class:`LogicalClock` plus deterministic timers.
+
+    The simulation harness (``repro.simtest``) runs window and timeout
+    logic entirely in virtual time: baskets stamp ``dc_time`` from this
+    clock, delayed fault batches are released against it, and scripted
+    input arrives at scheduled instants.  Timers registered with
+    :meth:`schedule` fire *during* :meth:`advance`/:meth:`set`, in strict
+    ``(deadline, registration order)`` order, so two runs of the same
+    episode observe bit-identical timestamp sequences.
+
+    Callbacks run outside the clock lock (they may re-schedule or read
+    ``now()``); time is already moved to the callback's deadline when it
+    runs, mirroring how a real timer wheel delivers expirations.
+    """
+
+    def __init__(self, start: float = 0.0):
+        super().__init__(start)
+        self._timers: List[Tuple[float, int, Callable[[], None]]] = []
+        self._timer_seq = 0
+
+    def schedule(self, at: float, callback: Callable[[], None]) -> None:
+        """Register ``callback`` to run when virtual time reaches ``at``."""
+        with self._lock:
+            if at < self._now:
+                raise ValueError("cannot schedule a timer in the past")
+            heapq.heappush(self._timers, (float(at), self._timer_seq, callback))
+            self._timer_seq += 1
+
+    def next_timer(self) -> float:
+        """Deadline of the earliest pending timer (+inf when none)."""
+        with self._lock:
+            return self._timers[0][0] if self._timers else float("inf")
+
+    def pending_timers(self) -> int:
+        with self._lock:
+            return len(self._timers)
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("time cannot go backwards")
+        with self._lock:
+            target = self._now + seconds
+        self.set(target)
+        return self.now()
+
+    def set(self, timestamp: float) -> None:
+        """Jump forward, firing every timer due on the way, in order."""
+        target = float(timestamp)
+        while True:
+            with self._lock:
+                if target < self._now:
+                    raise ValueError("time cannot go backwards")
+                if self._timers and self._timers[0][0] <= target:
+                    deadline, _, callback = heapq.heappop(self._timers)
+                    self._now = max(self._now, deadline)
+                else:
+                    self._now = target
+                    return
+            callback()

@@ -53,12 +53,13 @@ class Emitter:
         batch_size: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanRecorder] = None,
+        priority: int = -10,
     ):
         self.name = name
         self.source = source
         self.include_time = include_time
         self.batch_size = batch_size
-        self.priority = -10  # emitters run after queries by default
+        self.priority = priority  # emitters run after queries by default
         self._clients: List[ClientCallback] = []
         self._channels: List[Channel] = []
         self.total_delivered = 0

@@ -541,8 +541,10 @@ class DataCell:
         """Start threaded mode: every component becomes a thread."""
         self.scheduler.start()
 
-    def stop(self) -> None:
-        self.scheduler.stop()
+    def stop(self, timeout: float = 5.0) -> List[str]:
+        """Stop threaded mode; returns names of threads that failed to
+        join within ``timeout`` (empty on clean shutdown)."""
+        return self.scheduler.stop(timeout)
 
     # ------------------------------------------------------------------
     # observability surface

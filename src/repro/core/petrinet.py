@@ -175,10 +175,20 @@ class PetriNet:
         self.transitions.pop(name, None)
 
     def enabled_transitions(self) -> List[Transition]:
-        """Enabled transitions, highest priority first (stable)."""
-        enabled = [t for t in self.transitions.values() if t.enabled()]
-        enabled.sort(key=lambda t: -t.priority)
-        return enabled
+        """Enabled transitions, highest priority first.
+
+        Ties are broken by insertion (registration) order — the same
+        documented contract as the scheduler's
+        :class:`~repro.core.scheduler.PriorityPolicy`, so pure-net
+        reasoning and live-engine stepping agree on firing sequences.
+        """
+        enabled = [
+            (i, t)
+            for i, t in enumerate(self.transitions.values())
+            if t.enabled()
+        ]
+        enabled.sort(key=lambda pair: (-pair[1].priority, pair[0]))
+        return [t for _, t in enabled]
 
     def step(self) -> int:
         """One scheduler iteration: fire every enabled transition once.

@@ -44,6 +44,7 @@ class Receptor:
         batch_size: int = 1024,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanRecorder] = None,
+        priority: int = 10,
     ):
         if not targets:
             raise AdapterError(f"receptor {name!r} needs at least one target")
@@ -61,7 +62,7 @@ class Receptor:
         self.channel = channel
         self.targets: List[Basket] = list(targets)
         self.batch_size = batch_size
-        self.priority = 10  # receptors drain ahead of queries by default
+        self.priority = priority  # receptors drain ahead of queries by default
         self.total_events = 0
         self.total_invalid = 0
         self.activations = 0

@@ -43,7 +43,12 @@ from ..obs.metrics import Counter, MetricsRegistry, default_registry
 from ..obs.tracing import TraceLog
 from .factory import ActivationResult
 
-__all__ = ["SchedulableTransition", "Scheduler"]
+__all__ = [
+    "SchedulableTransition",
+    "FiringPolicy",
+    "PriorityPolicy",
+    "Scheduler",
+]
 
 
 @runtime_checkable
@@ -58,6 +63,58 @@ class SchedulableTransition(Protocol):
     def activate(self) -> ActivationResult: ...
 
 
+class FiringPolicy:
+    """Decides firing order among transitions — the seam shared by the
+    synchronous scheduler and the simulated scheduler (``repro.simtest``).
+
+    Callers always pass transitions in **registration order**; a policy
+    must be a pure function of that sequence plus its own (explicitly
+    seeded) state, so a run is reproducible from ``(seed, policy)``.
+
+    ``sweep_order`` shapes one full :meth:`Scheduler.step` sweep;
+    ``choose`` picks a single transition to fire next (the simulator's
+    one-firing-at-a-time driving).  The default ``choose`` takes the head
+    of ``sweep_order``, so a policy only needs to define the sweep.
+    """
+
+    def sweep_order(
+        self, transitions: List[SchedulableTransition]
+    ) -> List[SchedulableTransition]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def choose(
+        self, enabled: List[SchedulableTransition]
+    ) -> SchedulableTransition:
+        return self.sweep_order(list(enabled))[0]
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class PriorityPolicy(FiringPolicy):
+    """The engine's default order: priority descending, then registration
+    order ascending.
+
+    The tie-break among equal priorities is part of the scheduler
+    contract (documented here and asserted by
+    ``tests/test_scheduler_fairness.py``): the sort is guaranteed stable
+    over the registration-ordered input, so synchronous stepping, the
+    Petri-net engine, and the simulator all agree on the firing sequence
+    and ``run_until_quiescent`` treats equally-prioritized transitions
+    fairly — every sweep visits all of them, in one fixed, documented
+    order.
+    """
+
+    def sweep_order(
+        self, transitions: List[SchedulableTransition]
+    ) -> List[SchedulableTransition]:
+        # enumerate() makes the registration-order tie-break explicit
+        # rather than an accident of sort stability
+        indexed = list(enumerate(transitions))
+        indexed.sort(key=lambda pair: (-pair[1].priority, pair[0]))
+        return [t for _, t in indexed]
+
+
 class Scheduler:
     """Organizes the execution of the DataCell's transitions."""
 
@@ -66,7 +123,9 @@ class Scheduler:
         poll_interval: float = 0.001,
         metrics: Optional[MetricsRegistry] = None,
         trace: Optional[TraceLog] = None,
+        policy: Optional[FiringPolicy] = None,
     ):
+        self.policy = policy if policy is not None else PriorityPolicy()
         self._transitions: Dict[str, SchedulableTransition] = {}
         self._lock = threading.RLock()
         self._threads: List[threading.Thread] = []
@@ -195,15 +254,17 @@ class Scheduler:
     def step(self) -> int:
         """One scheduler iteration: fire every enabled transition once.
 
-        Transitions are visited highest-priority first; enablement is
-        re-checked immediately before each firing because earlier firings
-        may have consumed the inputs (or produced new ones).
+        Transitions are visited in the order the firing policy dictates
+        (default :class:`PriorityPolicy`: priority descending, ties broken
+        by registration order); enablement is re-checked immediately
+        before each firing because earlier firings may have consumed the
+        inputs (or produced new ones).
         """
         if self._running.is_set():
             raise SchedulerError("cannot step() while threads are running")
         self.total_iterations += 1
         self._m_iterations.inc()
-        ordered = sorted(self.transitions(), key=lambda t: -t.priority)
+        ordered = self.policy.sweep_order(self.transitions())
         fired = 0
         for transition in ordered:
             if transition.enabled():
@@ -218,6 +279,13 @@ class Scheduler:
 
         A continuous query network quiesces when all channels are drained,
         all baskets are below their thresholds, and all results delivered.
+
+        Fairness under equal priorities: each step sweeps *every*
+        transition (no transition is skipped because an earlier one
+        fired), and the in-sweep tie-break is the policy's documented
+        registration order — so equally-prioritized transitions cannot
+        starve each other and the simulated and synchronous modes agree
+        on the firing sequence (see :class:`PriorityPolicy`).
         """
         total = 0
         for _ in range(max_steps):
@@ -264,12 +332,22 @@ class Scheduler:
                 idle_counter.inc()
                 time.sleep(self.poll_interval)
 
-    def stop(self, timeout: float = 5.0) -> None:
-        """Stop all transition threads and join them."""
+    def stop(self, timeout: float = 5.0) -> List[str]:
+        """Stop all transition threads; join each with a bounded timeout.
+
+        Returns the names of threads still alive after their join window
+        (empty on a clean shutdown) so callers — the hermetic-test
+        fixture in particular — can turn a wedged transition thread into
+        a hard failure instead of an indefinite hang.
+        """
         self._running.clear()
+        leaked: List[str] = []
         for thread in self._threads:
             thread.join(timeout)
+            if thread.is_alive():
+                leaked.append(thread.name)
         self._threads = []
+        return leaked
 
     @property
     def running(self) -> bool:

@@ -476,7 +476,16 @@ class IncrementalWindowAggregatePlan(_WindowAggregateBase):
             # vectorized fast path: group positions by bw slot (arrival is
             # time-ordered within a snapshot for in-order streams; fall
             # back to the scalar path when it is not)
-            slots = np.floor(times / self.bw + 1e-9).astype(np.int64)
+            # exact half-open bucketing: slot i must satisfy
+            # i*bw <= t < (i+1)*bw — the same rule the re-eval route's
+            # mask applies, so the two routes agree tuple for tuple.
+            # floor(t/bw) alone can be off by one when the division
+            # rounds across an integer; correct against the products.
+            slots = np.floor(times / self.bw).astype(np.int64)
+            slots = np.where(times < slots * self.bw, slots - 1, slots)
+            slots = np.where(
+                times >= (slots + 1) * self.bw, slots + 1, slots
+            )
             if np.all(slots[1:] >= slots[:-1]):
                 boundaries = np.flatnonzero(np.diff(slots)) + 1
                 starts = np.concatenate(([0], boundaries))
@@ -495,7 +504,12 @@ class IncrementalWindowAggregatePlan(_WindowAggregateBase):
                 return
         for i in range(len(values)):
             stamp = float(times[i])
-            slot = math.floor(stamp / self.bw + 1e-9)
+            slot = math.floor(stamp / self.bw)
+            # same exact half-open correction as the vectorized path
+            if stamp < slot * self.bw:
+                slot -= 1
+            elif stamp >= (slot + 1) * self.bw:
+                slot += 1
             self._ensure_current((slot + 1) * self.bw)
             group = groups[i] if groups is not None else None
             self._fold(self._current, values[i], nils[i], group)

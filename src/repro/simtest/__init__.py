@@ -1,0 +1,74 @@
+"""Deterministic simulation + differential testing for the DataCell.
+
+The paper's headline architecture (§2.4) is the multi-threaded scheduler:
+every receptor/factory/emitter an independent thread, data streaming
+through baskets.  Thread schedules are not reproducible, so interleaving
+bugs (lost wakeups, basket races, double consumption under the §2.5
+strategies) surface only as flakes.  This package provides the
+correctness substrate instead:
+
+* :class:`~repro.simtest.sim.SimScheduler` drives the *exact same*
+  transition objects under a seed-controlled virtual scheduler — one
+  firing at a time, ordering chosen by a pluggable
+  :class:`~repro.core.scheduler.FiringPolicy`, time supplied by a
+  :class:`~repro.core.clock.VirtualClock`.  A whole episode is
+  reproducible from ``(seed, policy, fault plan)``.
+* :mod:`~repro.simtest.faults` injects drop/duplicate/reorder/delay
+  faults at basket boundaries and raises exceptions inside transitions
+  (exercising the scheduler's ``on_exception`` hook and the flight
+  recorder).
+* :mod:`~repro.simtest.oracle` replays every simulated input stream
+  through both the continuous-query pipeline and a one-shot execution of
+  the same SQL over the accumulated stream table (plus the ``baselines``
+  engines for window queries), asserting emitted-result equivalence up
+  to permutation — the "streaming must equal re-running the SQL"
+  property DataCell inherits from the relational kernel.  A shrinker
+  minimizes ``(stream, schedule)`` on failure.
+
+See ``docs/testing.md`` for the fault matrix, the oracle equivalence
+rules, and how to reproduce a failure from a printed repro line.
+"""
+
+from .faults import FaultableChannel, FaultPlan, InjectedFault
+from .oracle import (
+    ORACLE_CASES,
+    DifferentialResult,
+    EpisodeSpec,
+    OracleCase,
+    check_episode,
+    render_repro,
+    run_window_differential,
+    shrink_episode,
+)
+from .policies import (
+    PriorityInvertingPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    StarvePolicy,
+    make_policy,
+    policy_names,
+)
+from .sim import EpisodeResult, InputEvent, SimScheduler
+
+__all__ = [
+    "FaultPlan",
+    "FaultableChannel",
+    "InjectedFault",
+    "OracleCase",
+    "ORACLE_CASES",
+    "EpisodeSpec",
+    "DifferentialResult",
+    "check_episode",
+    "shrink_episode",
+    "render_repro",
+    "run_window_differential",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "PriorityInvertingPolicy",
+    "StarvePolicy",
+    "make_policy",
+    "policy_names",
+    "SimScheduler",
+    "InputEvent",
+    "EpisodeResult",
+]

@@ -285,6 +285,25 @@ class TestTimeWindows:
         assert rows[1] == (1, None, 0), "gap window has NULL sum, 0 count"
         assert rows[2] == (2, None, 0)
 
+    def test_boundary_epsilon_regression(self):
+        """Regression: a timestamp within 1e-9 below a bw boundary used to
+        be bucketed into the *next* basic window by the incremental
+        route's ``floor(t/bw + 1e-9)``, while re-evaluation's exact
+        half-open mask kept it in the earlier window — the two routes
+        disagreed on window membership (found by the hypothesis fuzz
+        below under seeded exploration)."""
+        events = [(1.9999999999999964, 0.0), (2.0, 0.0)]
+        spec = WindowSpec(WindowMode.TIME, 2.0, 1.0)
+        r1, _ = drive_time_window(
+            ReEvalWindowAggregatePlan, spec, events,
+            aggs=("sum", "count", "min", "max"),
+        )
+        r2, _ = drive_time_window(
+            IncrementalWindowAggregatePlan, spec, events,
+            aggs=("sum", "count", "min", "max"),
+        )
+        assert r1 == r2 == [(0, 0.0, 1, 0.0, 0.0)]
+
     @settings(max_examples=25, deadline=None)
     @given(
         st.lists(

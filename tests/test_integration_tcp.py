@@ -4,6 +4,12 @@ The paper's deployment picture: adapters at the edges speak a textual
 flat-tuple protocol over TCP, every component runs as its own thread, and
 data streams through the engine.  This test runs that picture end to end
 on localhost.
+
+Hermeticity: every wait is bounded and overruns *fail* rather than hang
+or fall through to a confusing assertion; ``cell.stop()`` returns the
+names of any scheduler threads that outlived the bounded join, and the
+autouse fixture in ``conftest.py`` double-checks nothing engine-owned
+survives the test.
 """
 
 import socket
@@ -35,18 +41,30 @@ def test_tcp_roundtrip_through_threaded_engine():
     query.subscribe(egress)
 
     cell.start()
+    timed_out = False
     try:
         with socket.create_connection(ingress.address, timeout=5) as sock:
             sock.sendall(b"1,25.0\n2,35.5\n3,41.0\n4,29.9\n")
-        deadline = time.time() + 20
-        while sink_server.channel.pending() < 2 and time.time() < deadline:
+        deadline = time.monotonic() + 20
+        while sink_server.channel.pending() < 2:
+            if time.monotonic() > deadline:
+                timed_out = True
+                break
             time.sleep(0.01)
     finally:
-        cell.stop()
+        leaked = cell.stop(timeout=5.0)
         egress.close()
         ingress.stop()
         sink_server.stop()
 
+    if leaked:
+        pytest.fail(f"scheduler threads survived bounded join: {leaked}")
+    if timed_out:
+        pytest.fail(
+            "timed out waiting for results at the TCP sink "
+            f"(pending={sink_server.channel.pending()}, "
+            f"delivered={query.results_delivered})"
+        )
     delivered = sorted(sink_server.channel.poll())
     assert delivered == ["2,35.5", "3,41.0"]
     assert query.results_delivered == 2

@@ -8,6 +8,7 @@ import pytest
 
 from repro import DataCell, MetricsRegistry
 from repro.bench.reporting import record_result
+from repro.testing import current_seed
 from repro.core.basket import Basket
 from repro.core.shedding import LoadShedController
 from repro.kernel.types import AtomType
@@ -211,7 +212,11 @@ class TestRecordResultAtomic:
         record_result("exp2", {"y": 2}, path=target)
         with open(target) as handle:
             data = json.load(handle)
-        assert data == {"exp1": {"x": 1}, "exp2": {"y": 2}}
+        seed = current_seed()
+        assert data == {
+            "exp1": {"x": 1, "seed": seed},
+            "exp2": {"y": 2, "seed": seed},
+        }
 
     def test_no_temp_file_left_behind(self, tmp_path):
         target = str(tmp_path / "results.json")
@@ -227,4 +232,6 @@ class TestRecordResultAtomic:
             handle.write("{not json")
         record_result("exp", {"x": 1}, path=target)
         with open(target) as handle:
-            assert json.load(handle) == {"exp": {"x": 1}}
+            assert json.load(handle) == {
+                "exp": {"x": 1, "seed": current_seed()}
+            }

@@ -9,7 +9,7 @@ import math
 import operator
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given, seed, settings
 from hypothesis import strategies as st
 
 from repro.kernel.catalog import Catalog
@@ -18,6 +18,7 @@ from repro.kernel.types import AtomType
 from repro.sql.compiler import compile_select
 from repro.sql.optimizer import optimize
 from repro.sql.parser import parse_select
+from repro.testing import current_seed
 
 
 # ----------------------------------------------------------------------
@@ -117,6 +118,7 @@ def build_catalog(rows):
 
 
 class TestWherePredicateFuzz:
+    @seed(current_seed())
     @settings(max_examples=120, deadline=None)
     @given(rows=rows_strategy(), pred=predicates())
     def test_where_matches_oracle(self, rows, pred):
@@ -131,6 +133,7 @@ class TestWherePredicateFuzz:
         ]
         assert got == expected
 
+    @seed(current_seed())
     @settings(max_examples=60, deadline=None)
     @given(rows=rows_strategy(), pred=predicates())
     def test_optimizer_preserves_semantics(self, rows, pred):
@@ -147,6 +150,7 @@ class TestWherePredicateFuzz:
 
 
 class TestExpressionFuzz:
+    @seed(current_seed())
     @settings(max_examples=80, deadline=None)
     @given(
         rows=rows_strategy(),
@@ -172,6 +176,7 @@ class TestExpressionFuzz:
                 expected.append(a * p + b * q - (a % m))
         assert got == expected
 
+    @seed(current_seed())
     @settings(max_examples=60, deadline=None)
     @given(rows=rows_strategy())
     def test_aggregates_match_oracle(self, rows):
@@ -192,6 +197,7 @@ class TestExpressionFuzz:
         )
         assert got == expected
 
+    @seed(current_seed())
     @settings(max_examples=60, deadline=None)
     @given(rows=rows_strategy(), pivot=st.integers(-10, 10))
     def test_group_by_matches_oracle(self, rows, pivot):

@@ -8,7 +8,7 @@ cursors, GC, and shedding interact in ways unit tests undersample.
 """
 
 import numpy as np
-from hypothesis import settings
+from hypothesis import seed, settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
@@ -20,8 +20,10 @@ from hypothesis.stateful import (
 from repro.core.basket import Basket
 from repro.core.clock import LogicalClock
 from repro.kernel.types import AtomType
+from repro.testing import current_seed
 
 
+@seed(current_seed())
 class BasketModel(RuleBasedStateMachine):
     """Random ingest/consume/read sequences vs a list-of-rows model."""
 
@@ -144,6 +146,7 @@ BasketModelTest.settings = settings(
 )
 
 
+@seed(current_seed())
 class SchedulerNetworkModel(RuleBasedStateMachine):
     """A random chain network never loses or duplicates tuples."""
 
