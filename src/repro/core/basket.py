@@ -141,6 +141,10 @@ class Basket(Table):
         self._next_seq = 0
         self.min_count = 1  # scheduler firing threshold (paper §2.4)
         self.capacity: Optional[int] = None  # load-shedding high watermark
+        # durability hook: when a DurabilityManager is attached, every
+        # ingested batch is write-ahead logged at this boundary (before
+        # load shedding, which replay re-applies deterministically)
+        self.wal_sink = None
         self._readers: Dict[str, int] = {}
         # statistics
         self.total_in = 0
@@ -242,6 +246,8 @@ class Basket(Table):
             self._next_seq += n
             self.total_in += n
             self._m_in.inc(n)
+            if self.wal_sink is not None:
+                self._log_ingest(n, stamp)
             shed = self._shed_if_over_capacity()
             self._record_depth()
         return len(rows) - shed
@@ -285,9 +291,29 @@ class Basket(Table):
             self._next_seq += n
             self.total_in += n
             self._m_in.inc(n)
+            if self.wal_sink is not None:
+                self._log_ingest(n, stamp)
             shed = self._shed_if_over_capacity()
             self._record_depth()
         return n - shed
+
+    def _log_ingest(self, n: int, stamp: float) -> None:
+        """WAL the batch just appended (call under ``self.lock``).
+
+        Reads the freshly appended tails so the logged arrays carry the
+        coerced storage representation, and runs before shedding so the
+        log is the pre-shed ground truth (replay re-sheds identically).
+        Only *ingested* batches are logged — factory output appended via
+        :meth:`append_result` is derived state, recomputed by replay.
+        """
+        if n <= 0:
+            return
+        self.wal_sink.log_insert(
+            self.name,
+            stamp,
+            [(c.name.lower(), c.atom) for c in self.user_columns],
+            [self.bat(c.name).tail[-n:] for c in self.user_columns],
+        )
 
     def _shed_if_over_capacity(self) -> int:
         """Drop oldest tuples beyond the capacity watermark (load shedding)."""
@@ -399,6 +425,19 @@ class Basket(Table):
         ``(seed, policy, fault plan)`` episode is bit-reproducible.
         Hidden monotonic stamps are deliberately excluded: they are real
         wall-time and would differ across otherwise identical runs.
+
+        Stability contract (the durability subsystem depends on it):
+        the digest is a pure function of ``(next_seq, seq column,
+        reader cursors, every schema column tail including dc_time)``
+        and of nothing else — not monotonic stamps, not trace tokens,
+        not the in/out/shed statistics counters, not BAT capacity or
+        generation.  Exporting a basket's state and importing it into a
+        same-schema basket therefore reproduces the digest exactly,
+        which is how recovery tests assert post-recovery state equals
+        the pre-crash checkpoint.  Changing what the digest covers
+        invalidates checkpoint-equality comparisons across versions;
+        extend it only with state that genuinely alters future engine
+        behaviour, and update ``docs/durability.md`` when you do.
         """
         import hashlib
 
@@ -412,6 +451,69 @@ class Basket(Table):
                 parts.append(col.name.lower())
                 parts.append(repr(self.bat(col.name).tail.tolist()))
         return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    # durability export/import (checkpoint cut <-> recovery restore)
+    # ------------------------------------------------------------------
+    def export_state(self):
+        """Copy everything :meth:`state_digest` covers, for a checkpoint.
+
+        The checkpointer calls this while holding every basket lock (the
+        engine-wide cut); the returned arrays are copies, so disk I/O
+        can happen after the locks are released.
+        """
+        from ..durability.checkpoint import BasketState
+
+        with self.lock:
+            return BasketState(
+                columns=[(c.name.lower(), c.atom) for c in self.schema],
+                arrays=[self.bat(c.name).tail.copy() for c in self.schema],
+                seqs=self._seq.tail.copy(),
+                next_seq=self._next_seq,
+                readers=dict(self._readers),
+                total_in=self.total_in,
+                total_out=self.total_out,
+                total_shed=self.total_shed,
+            )
+
+    def import_state(self, state) -> None:
+        """Replace this basket's content with a checkpointed state.
+
+        The basket must have been created with the same schema (recovery
+        restores state into a rebuilt topology, it does not create
+        schema).  Hidden monotonic stamps and trace tokens are reborn
+        "now"/unsampled: both are explicitly outside the digest's
+        stability contract.
+        """
+        expected = [(c.name.lower(), c.atom) for c in self.schema]
+        if list(state.columns) != expected:
+            raise BasketError(
+                f"basket {self.name!r}: checkpoint schema "
+                f"{state.columns} != live schema {expected}"
+            )
+        with self.lock:
+            new_bats: Dict[str, BAT] = {}
+            for (col_name, atom), array in zip(state.columns, state.arrays):
+                bat = BAT(atom)
+                bat.append_array(np.asarray(array))
+                new_bats[col_name] = bat
+            self.replace_bats(new_bats)
+            seq_bat = BAT(AtomType.LNG)
+            seq_bat.append_array(np.asarray(state.seqs, dtype=np.int64))
+            self._seq = seq_bat
+            n = self._seq.count
+            if self._stamping:
+                self._mono = BAT(AtomType.DBL)
+                self._mono.append_array(np.full(n, time.monotonic()))
+            if self._token_tracking:
+                self._tokens = BAT(AtomType.LNG)
+                self._tokens.append_array(np.zeros(n, dtype=np.int64))
+            self._next_seq = int(state.next_seq)
+            self._readers = dict(state.readers)
+            self.total_in = int(state.total_in)
+            self.total_out = int(state.total_out)
+            self.total_shed = int(state.total_shed)
+            self._record_depth()
 
     # ------------------------------------------------------------------
     # shared-baskets reader protocol (paper §2.5, second strategy)

@@ -11,6 +11,8 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..adapters.channels import Channel, format_tuple
 from ..errors import AdapterError
 from ..obs.metrics import MetricsRegistry, default_registry
@@ -60,6 +62,13 @@ class Emitter:
         self.include_time = include_time
         self.batch_size = batch_size
         self.priority = priority  # emitters run after queries by default
+        # durability: the highest source sequence number ever delivered.
+        # With a wal_sink attached it is logged (under the source lock)
+        # on every activation; after recovery it suppresses re-delivery
+        # of rows the deterministic replay regenerates — the
+        # exactly-once mechanism.  -1 = nothing delivered yet.
+        self.high_water_seq = -1
+        self.wal_sink = None
         self._clients: List[ClientCallback] = []
         self._channels: List[Channel] = []
         self.total_delivered = 0
@@ -102,9 +111,24 @@ class Emitter:
     def activate(self) -> ActivationResult:
         """Consume waiting results and fan them out to all subscribers."""
         started = time.perf_counter()
+        fresh_positions: Optional[np.ndarray] = None
         with self.source.lock:
             snapshot = self.source.snapshot()
             self.source.consume_all()
+            if snapshot.count and (
+                self.wal_sink is not None or self.high_water_seq >= 0
+            ):
+                # replayed rows at or below the recovered high-water mark
+                # were delivered before the crash: drop them here, inside
+                # the lock, so the mark and the consumption stay atomic
+                fresh = snapshot.seqs > self.high_water_seq
+                if not fresh.all():
+                    fresh_positions = np.flatnonzero(fresh)
+                self.high_water_seq = max(
+                    self.high_water_seq, int(snapshot.seqs.max())
+                )
+                if self.wal_sink is not None:
+                    self.wal_sink.log_emit(self.name, self.high_water_seq)
         token = snapshot.first_token() if self._tracing else 0
         span = (
             self.tracer.begin_stage(
@@ -113,7 +137,7 @@ class Emitter:
             if token
             else None
         )
-        rows = self._project(snapshot)
+        rows = self._project(snapshot, fresh_positions)
         for client in self._clients:
             client(rows)
         for channel in self._channels:
@@ -139,7 +163,12 @@ class Emitter:
             elapsed=time.perf_counter() - started,
         )
 
-    def _project(self, snapshot) -> List[Row]:
+    def _project(
+        self, snapshot, positions: Optional[np.ndarray] = None
+    ) -> List[Row]:
+        """Snapshot → python rows; ``positions`` restricts to a subset
+        (recovery's fresh-rows filter).  ``None`` keeps everything —
+        the common case pays no indexing cost."""
         from ..kernel.types import python_value
 
         keep = [
@@ -150,7 +179,13 @@ class Emitter:
         if not keep:
             return []
         cols = [
-            [python_value(bat.atom, v) for v in bat.tail] for _, bat in keep
+            [
+                python_value(bat.atom, v)
+                for v in (
+                    bat.tail if positions is None else bat.tail[positions]
+                )
+            ]
+            for _, bat in keep
         ]
         return list(zip(*cols)) if snapshot.count else []
 

@@ -22,6 +22,9 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from ..adapters.channels import Channel, InMemoryChannel
+from ..durability.manager import DurabilityManager
+from ..durability.recovery import RecoveryReport
+from ..durability.wal import DurabilityConfig
 from ..errors import BindError, DataCellError, SqlError
 from ..kernel.catalog import Catalog, Table
 from ..kernel.interpreter import MalInterpreter
@@ -80,6 +83,7 @@ class DataCell:
         metrics: Optional[MetricsRegistry] = None,
         trace: Optional[TraceLog] = None,
         spans: Optional[SpanRecorder] = None,
+        durability: Optional[DurabilityConfig] = None,
     ):
         self.clock = clock or WallClock()
         self.catalog = Catalog()
@@ -105,6 +109,13 @@ class DataCell:
         self.scheduler.on_exception = self.flight.record_exception
         self._query_counter = 0
         self._queries: List[ContinuousQuery] = []
+        # durability is opt-in: with no config the engine is pure
+        # main-memory and every WAL hook is a single None check
+        self.durability: Optional[DurabilityManager] = (
+            DurabilityManager(self, durability)
+            if durability is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # DDL / DML / one-time queries
@@ -226,6 +237,8 @@ class DataCell:
             name, columns, self.clock,
             metrics=self.metrics, tracer=self.spans,
         )
+        if self.durability is not None:
+            basket.wal_sink = self.durability
         self.catalog.register(basket)
         return basket
 
@@ -463,6 +476,8 @@ class DataCell:
             f"{name}_emitter", output,
             metrics=self.metrics, tracer=self.spans,
         )
+        if self.durability is not None:
+            emitter.wal_sink = self.durability
         emitter.subscribe(collector)
         self.scheduler.register(factory)
         self.scheduler.register(emitter)
@@ -523,6 +538,8 @@ class DataCell:
             name, basket, include_time=include_time,
             metrics=self.metrics, tracer=self.spans,
         )
+        if self.durability is not None:
+            emitter.wal_sink = self.durability
         self.scheduler.register(emitter)
         return emitter
 
@@ -540,11 +557,50 @@ class DataCell:
     def start(self) -> None:
         """Start threaded mode: every component becomes a thread."""
         self.scheduler.start()
+        if self.durability is not None:
+            self.durability.start_checkpointer()
 
     def stop(self, timeout: float = 5.0) -> List[str]:
         """Stop threaded mode; returns names of threads that failed to
-        join within ``timeout`` (empty on clean shutdown)."""
-        return self.scheduler.stop(timeout)
+        join within ``timeout`` (empty on clean shutdown).  With
+        durability enabled the checkpointer thread is stopped and the
+        WAL is fsynced to disk regardless of fsync policy."""
+        leftovers = self.scheduler.stop(timeout)
+        if self.durability is not None:
+            self.durability.stop_checkpointer(timeout)
+            self.durability.flush()
+        return leftovers
+
+    # ------------------------------------------------------------------
+    # durability surface
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Write a consistent checkpoint now; returns its id.
+
+        Raises :class:`DataCellError` when the cell was built without a
+        :class:`~repro.durability.DurabilityConfig`.
+        """
+        if self.durability is None:
+            raise DataCellError(
+                "durability is not enabled on this cell "
+                "(pass durability=DurabilityConfig(...))"
+            )
+        return self.durability.checkpoint()
+
+    def recover(self) -> "RecoveryReport":
+        """Restore state from the newest checkpoint + WAL suffix.
+
+        The cell must already hold the same topology (baskets, queries,
+        emitters under the same names) that existed when the log was
+        written — recovery restores *state*, not structure.  Call before
+        driving the scheduler.
+        """
+        if self.durability is None:
+            raise DataCellError(
+                "durability is not enabled on this cell "
+                "(pass durability=DurabilityConfig(...))"
+            )
+        return self.durability.recover()
 
     # ------------------------------------------------------------------
     # observability surface
@@ -605,7 +661,7 @@ class DataCell:
                     (q.output_basket.name,),
                 ) or {},
             }
-        return {
+        out = {
             "scheduler": {
                 "iterations": self.scheduler.total_iterations,
                 "firings": self.scheduler.total_firings,
@@ -621,6 +677,9 @@ class DataCell:
                 "open_roots": len(self.spans.open_roots()),
             },
         }
+        if self.durability is not None:
+            out["durability"] = self.durability.stats()
+        return out
 
     def render_dashboard(self, trace_events: int = 10) -> str:
         """The engine's live state as an aligned text dashboard."""

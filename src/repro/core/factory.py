@@ -100,6 +100,22 @@ class ContinuousPlan:
     def describe(self) -> str:
         return type(self).__name__
 
+    # -- durability hooks ----------------------------------------------
+    # A plan that carries saved state across activations (window
+    # buffers, join caches) overrides these so checkpoints capture it.
+    # The default contract is "stateless": export nothing, and refuse a
+    # blob on import — silently dropping saved state would un-recover a
+    # window mid-stream.
+    def export_state(self) -> Optional[bytes]:
+        return None
+
+    def import_state(self, blob: Optional[bytes]) -> None:
+        if blob is not None:
+            raise DataCellError(
+                f"plan {self.describe()!r} is stateless but a checkpoint "
+                "carries saved state for it (plan/engine version mismatch?)"
+            )
+
 
 class CallablePlan(ContinuousPlan):
     """Adapter turning a python callable into a plan.
@@ -275,6 +291,39 @@ class Factory:
                 except DataCellError:  # pragma: no cover - defensive
                     pass
         self._coroutine = None
+
+    # ------------------------------------------------------------------
+    # durability export/import
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Binding cursors + the plan's saved state, for a checkpoint.
+
+        Called inside the checkpointer's all-baskets cut: plan state is
+        only ever mutated while the factory holds its baskets' locks, so
+        what we copy here is activation-boundary consistent.
+        """
+        blob = self.plan.export_state()
+        return {
+            "bindings": [
+                [int(b.last_seen_seq), int(b.last_consumed)]
+                for b in self.inputs
+            ],
+            "plan": blob.hex() if blob is not None else None,
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore what :meth:`export_state` captured (same topology)."""
+        pairs = state.get("bindings", [])
+        if len(pairs) != len(self.inputs):
+            raise DataCellError(
+                f"factory {self.name!r}: checkpoint has {len(pairs)} input "
+                f"bindings, the live factory has {len(self.inputs)}"
+            )
+        for binding, (seen, consumed) in zip(self.inputs, pairs):
+            binding.last_seen_seq = int(seen)
+            binding.last_consumed = int(consumed)
+        blob = state.get("plan")
+        self.plan.import_state(bytes.fromhex(blob) if blob else None)
 
     # ------------------------------------------------------------------
     def _lock_order(self) -> List[Basket]:

@@ -147,6 +147,29 @@ class _WindowAggregateBase(ContinuousPlan):
         self.windows_emitted = 0
 
     # ------------------------------------------------------------------
+    # durability: window buffers are exactly the factory saved-state the
+    # paper's co-routine model carries between activations, so they are
+    # what a checkpoint must capture.  The whole __dict__ is pickled —
+    # numpy buffers, _BasicWindow summaries (plain __slots__ objects),
+    # and counters round-trip; config fields travel too but the restored
+    # plan was rebuilt with identical parameters, so they only re-assert
+    # what is already true.
+    def export_state(self) -> bytes:
+        import pickle
+
+        return pickle.dumps(self.__dict__, protocol=4)
+
+    def import_state(self, blob: Optional[bytes]) -> None:
+        if blob is None:
+            raise DataCellError(
+                f"window plan {self.describe()!r} expected saved state in "
+                "the checkpoint but found none"
+            )
+        import pickle
+
+        self.__dict__.update(pickle.loads(blob))
+
+    # ------------------------------------------------------------------
     def output_schema(self) -> List[Tuple[str, AtomType]]:
         """Schema of the rows this plan emits (window id, group?, aggs)."""
         cols: List[Tuple[str, AtomType]] = [("window_id", AtomType.LNG)]
@@ -697,6 +720,22 @@ class SlidingWindowJoinPlan(ContinuousPlan):
         self._watermark = -math.inf
         self.pairs_emitted = 0
         self.probes = 0
+
+    # join buffers are factory saved-state too (see _WindowAggregateBase)
+    def export_state(self) -> bytes:
+        import pickle
+
+        return pickle.dumps(self.__dict__, protocol=4)
+
+    def import_state(self, blob: Optional[bytes]) -> None:
+        if blob is None:
+            raise DataCellError(
+                "sliding-window join expected saved state in the "
+                "checkpoint but found none"
+            )
+        import pickle
+
+        self.__dict__.update(pickle.loads(blob))
 
     def run(self, snapshots: Dict[str, BasketSnapshot]) -> PlanOutput:
         new_left = self._pull(snapshots.get(self.left_basket), self.left_key)

@@ -1,0 +1,52 @@
+"""Durability: basket WAL, columnar checkpoints, crash recovery.
+
+The paper's §1/§2 pitch — a stream engine living inside a relational
+kernel inherits the DBMS's persistence machinery "for free" — realized
+for this kernel: ingested batches are write-ahead logged at the basket
+boundary, the whole engine state (basket columns, factory window
+buffers, reader cursors, emitter delivery marks) checkpoints
+atomically, and a restarted process replays the log suffix through the
+normal ingest path to reach exactly the pre-crash state with
+exactly-once delivery to emitter clients.  See ``docs/durability.md``.
+"""
+
+from .checkpoint import (
+    BasketState,
+    CheckpointSnapshot,
+    LoadedCheckpoint,
+    list_checkpoints,
+    load_latest_checkpoint,
+    write_checkpoint,
+)
+from .manager import DurabilityManager
+from .recovery import RecoveryReport, recover
+from .wal import (
+    CheckpointRecord,
+    DurabilityConfig,
+    EmitRecord,
+    FsyncPolicy,
+    InsertRecord,
+    WalWriter,
+    list_segments,
+    read_wal,
+)
+
+__all__ = [
+    "DurabilityConfig",
+    "DurabilityManager",
+    "FsyncPolicy",
+    "WalWriter",
+    "read_wal",
+    "list_segments",
+    "InsertRecord",
+    "EmitRecord",
+    "CheckpointRecord",
+    "BasketState",
+    "CheckpointSnapshot",
+    "LoadedCheckpoint",
+    "write_checkpoint",
+    "load_latest_checkpoint",
+    "list_checkpoints",
+    "RecoveryReport",
+    "recover",
+]

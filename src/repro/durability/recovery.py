@@ -1,0 +1,184 @@
+"""Crash recovery: newest valid checkpoint + WAL suffix replay.
+
+The protocol (see ``docs/durability.md`` for the full argument):
+
+1. **Load** the newest checkpoint that validates (corrupt/torn latest
+   falls back to its predecessor; no checkpoint at all means recovery
+   starts from an empty engine and replays the whole log).
+2. **Restore** every basket's columns/sequence numbers/reader cursors,
+   every factory's binding cursors and saved plan state (window
+   buffers), and every emitter's delivery high-water mark into an
+   engine that was *constructed with the same topology* (same baskets,
+   same queries under the same names) — recovery restores state, not
+   schema.
+3. **Replay** the WAL suffix (segments at or after the checkpoint's
+   rotation point) through the normal ingest path
+   (``Basket.insert_columns``), with WAL logging suppressed.  A torn
+   record ends the replay; everything before it is kept.  ``EMIT``
+   records lift emitter high-water marks past the checkpoint.
+4. The caller then **drives the scheduler** as usual.  Factories
+   recompute every output row the crash destroyed — emitted row content
+   and sequence numbers are a deterministic function of ingest order
+   (the invariant ``repro.simtest`` checks continuously), so the rows
+   regenerate with the same output sequence numbers they had before the
+   crash, and each emitter's high-water mark suppresses exactly those
+   already delivered: no loss, no duplicates.
+
+Exactly-once holds at activation boundaries (where the simulated crash
+fault strikes).  A real process dying *between* an emitter's basket
+consumption and its client callbacks can deliver-then-forget at most
+one batch per emitter — the classic delivery/ack race, documented as
+the at-most-once edge in ``docs/durability.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..errors import DurabilityError
+from .checkpoint import load_latest_checkpoint
+from .wal import CheckpointRecord, EmitRecord, InsertRecord, read_wal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .manager import DurabilityManager
+
+__all__ = ["RecoveryReport", "recover"]
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery did."""
+
+    checkpoint_id: Optional[int]  # None when no checkpoint was usable
+    wal_records: int = 0
+    rows_replayed: int = 0
+    emit_marks: int = 0
+    torn_tail: bool = False
+    baskets_restored: int = 0
+    factories_restored: int = 0
+    seconds: float = 0.0
+
+
+def recover(
+    manager: "DurabilityManager", stop_segment: Optional[int] = None
+) -> RecoveryReport:
+    """Restore ``manager.engine`` from its durability directory.
+
+    ``stop_segment`` bounds the replay to pre-crash segments (the
+    manager passes its own first segment, so records this process wrote
+    after restart are never replayed into themselves).
+    """
+    from ..core.basket import Basket
+    from ..core.emitter import Emitter
+    from ..core.factory import Factory
+
+    engine = manager.engine
+    report = RecoveryReport(checkpoint_id=None)
+    loaded = load_latest_checkpoint(manager.checkpoint_dir)
+    start_segment = 0
+    if loaded is not None:
+        report.checkpoint_id = loaded.checkpoint_id
+        start_segment = loaded.wal_start_segment
+        for name, state in loaded.baskets.items():
+            table = (
+                engine.catalog.get(name)
+                if engine.catalog.has(name)
+                else None
+            )
+            if not isinstance(table, Basket):
+                raise DurabilityError(
+                    f"checkpoint has basket {name!r} but the engine does "
+                    "not — recovery needs the pre-crash topology rebuilt "
+                    "first"
+                )
+            table.import_state(state)
+            report.baskets_restored += 1
+        transitions: Dict[str, object] = {
+            t.name: t for t in engine.scheduler.transitions()
+        }
+        for name, state in loaded.factories.items():
+            factory = transitions.get(name)
+            if not isinstance(factory, Factory):
+                raise DurabilityError(
+                    f"checkpoint has factory {name!r} but the engine does "
+                    "not — re-register the query before recovering"
+                )
+            factory.import_state(state)
+            report.factories_restored += 1
+        for name, high_water in loaded.emitters.items():
+            emitter = transitions.get(name)
+            if not isinstance(emitter, Emitter):
+                raise DurabilityError(
+                    f"checkpoint has emitter {name!r} but the engine does "
+                    "not — re-register the query before recovering"
+                )
+            emitter.high_water_seq = max(
+                emitter.high_water_seq, int(high_water)
+            )
+
+    records, torn = read_wal(
+        manager.wal_dir, start_segment, stop_segment=stop_segment
+    )
+    report.wal_records = len(records)
+    report.torn_tail = torn
+    max_stamp = loaded.clock_now if loaded is not None else None
+    manager.replaying = True
+    try:
+        for record in records:
+            if isinstance(record, InsertRecord):
+                basket = (
+                    engine.catalog.get(record.basket)
+                    if engine.catalog.has(record.basket)
+                    else None
+                )
+                if not isinstance(basket, Basket):
+                    raise DurabilityError(
+                        f"WAL insert targets unknown basket "
+                        f"{record.basket!r}"
+                    )
+                basket.insert_columns(
+                    {
+                        name: array
+                        for (name, _), array in zip(
+                            record.columns, record.arrays
+                        )
+                    },
+                    timestamp=record.stamp,
+                )
+                report.rows_replayed += record.count
+                if max_stamp is None or record.stamp > max_stamp:
+                    max_stamp = record.stamp
+            elif isinstance(record, EmitRecord):
+                emitter = next(
+                    (
+                        t
+                        for t in engine.scheduler.transitions()
+                        if t.name == record.emitter
+                    ),
+                    None,
+                )
+                if not isinstance(emitter, Emitter):
+                    raise DurabilityError(
+                        f"WAL emit record names unknown emitter "
+                        f"{record.emitter!r}"
+                    )
+                emitter.high_water_seq = max(
+                    emitter.high_water_seq, record.high_water
+                )
+                report.emit_marks += 1
+            elif isinstance(record, CheckpointRecord):
+                continue
+    finally:
+        manager.replaying = False
+
+    # lift a settable clock to the recovered frontier so post-recovery
+    # stamps never run behind replayed ones (time-window monotonicity)
+    clock_set = getattr(engine.clock, "set", None)
+    if (
+        max_stamp is not None
+        and clock_set is not None
+        and max_stamp > engine.clock.now()
+    ):
+        clock_set(max_stamp)
+    return report

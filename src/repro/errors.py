@@ -72,5 +72,9 @@ class ObservabilityError(ReproError):
     """Misuse of the metrics/tracing subsystem (bad labels, bad buckets)."""
 
 
+class DurabilityError(DataCellError):
+    """WAL/checkpoint/recovery failure (corrupt frame, bad manifest...)."""
+
+
 class LinearRoadError(ReproError):
     """Linear Road generator/validator failure."""

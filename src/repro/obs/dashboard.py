@@ -113,6 +113,27 @@ def render_dashboard(
             rows,
         ))
 
+    durability = stats.get("durability")
+    if durability:
+        ckpt_ms = _ms(durability.get("last_checkpoint_seconds"))
+        rec = durability.get("recovery_seconds")
+        rows = [(
+            durability.get("fsync_policy", "?"),
+            int(durability.get("wal_records") or 0),
+            int(durability.get("wal_bytes") or 0),
+            int(durability.get("wal_fsyncs") or 0),
+            int(durability.get("wal_segments") or 0),
+            int(durability.get("checkpoints") or 0),
+            ckpt_ms,
+            _ms(rec) if rec is not None else "-",
+        )]
+        sections.append(format_table(
+            "Durability (WAL + checkpoints)",
+            ["fsync", "records", "bytes", "fsyncs", "segments",
+             "ckpts", "last ckpt ms", "recovery ms"],
+            rows,
+        ))
+
     if trace is not None and len(trace):
         sections.append(
             f"== Trace (last {trace_events} of {len(trace)} buffered) ==\n"

@@ -24,11 +24,18 @@ correctness substrate instead:
   to permutation — the "streaming must equal re-running the SQL"
   property DataCell inherits from the relational kernel.  A shrinker
   minimizes ``(stream, schedule)`` on failure.
+* :mod:`~repro.simtest.crash` kills seeded episodes at firing
+  boundaries and requires recovery (checkpoint + WAL replay) to deliver
+  byte-identically what the uninterrupted run delivers — the
+  durability subsystem's exactly-once differential gate.
 
 See ``docs/testing.md`` for the fault matrix, the oracle equivalence
 rules, and how to reproduce a failure from a printed repro line.
 """
 
+# NOTE: .crash is intentionally not imported here — it is a CLI entry
+# point (``python -m repro.simtest.crash``) and importing it from the
+# package __init__ would trigger the runpy double-import warning.
 from .faults import FaultableChannel, FaultPlan, InjectedFault
 from .oracle import (
     ORACLE_CASES,

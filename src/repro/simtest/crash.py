@@ -1,0 +1,363 @@
+"""Kill-and-restart differential: recovered output ≡ uninterrupted output.
+
+The durability subsystem's correctness claim is byte-identical delivery
+across a crash: for any seeded episode, killing the engine at an
+arbitrary firing boundary, recovering from the newest checkpoint plus
+the WAL suffix, and feeding the rest of the stream must deliver exactly
+the rows an uninterrupted run of the same episode delivers — no loss,
+no duplicates, same values, same order (window results ordered by
+window index, like the PR 3 oracle).
+
+Each episode runs three phases over one scratch durability directory:
+
+1. **reference** — the same spec without durability, run to quiescence;
+2. **crash** — durability on, a firing hook raises
+   :class:`SimulatedCrash` after ``crash_after`` firings (optionally
+   checkpointing every ``checkpoint_every`` firings first), then the
+   manager is *abandoned* — closed with no final fsync, exactly what a
+   process kill leaves on disk;
+3. **recovery** — a fresh engine with the identical topology calls
+   :meth:`DataCell.recover`, drains the replayed in-flight work, and
+   ingests the suffix of the stream the dead process never saw
+   (``rows[total_in:]`` — ingest is FIFO, so the restored ``total_in``
+   counter is the resume point).
+
+``pre_crash + post_recovery == reference`` is then required to hold
+exactly.  Crashes land on firing boundaries, where exactly-once holds;
+the mid-delivery at-most-once edge is documented in
+``docs/durability.md``.  Only COUNT windows are exercised — a restarted
+virtual clock makes TIME geometry stamps legitimately diverge.
+
+CLI (CI gate)::
+
+    PYTHONPATH=src python -m repro.simtest.crash --episodes 100 \\
+        --seed 0 --out benchmarks/crash_repro.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from ..adapters.channels import InMemoryChannel
+from ..core.engine import DataCell
+from ..core.windows import WindowMode, WindowSpec
+from ..durability import DurabilityConfig, RecoveryReport
+from ..kernel.types import AtomType
+from ..testing import current_seed
+from .oracle import CHANNEL, COLUMNS, ORACLE_CASES, STREAM, _quiet_metrics
+from .policies import policy_names
+from .sim import InputEvent, SimScheduler
+
+__all__ = [
+    "SimulatedCrash",
+    "CrashSpec",
+    "CrashDifferentialResult",
+    "check_crash_episode",
+    "crash_episode_spec",
+]
+
+Row = Tuple[int, ...]
+
+QUERY = "q"  # fixed query name: recovery needs an identical topology
+
+WINDOW_GEOMETRIES = ((4, 2), (4, 4), (1, 1), (6, 3))
+AGGREGATES = ("sum", "count", "avg", "min", "max")
+FSYNC_CYCLE = ("interval", "off", "always")
+
+
+class SimulatedCrash(Exception):
+    """Raised from the firing hook to kill an episode at a boundary."""
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Everything that determines one crash episode, and nothing else.
+
+    ``case`` is an oracle case name (plain continuous query) or
+    ``"window"`` (COUNT-window aggregate per ``window`` /
+    ``window_aggregate``).  No channel faults: the crash *is* the fault.
+    """
+
+    seed: int
+    rows: Tuple[Row, ...]
+    case: str = "filter"
+    policy: str = "random"
+    batch_size: int = 3
+    time_step: float = 0.25
+    crash_after: int = 5
+    checkpoint_every: Optional[int] = None
+    fsync: str = "interval"
+    window: Tuple[int, int] = (4, 2)
+    window_aggregate: str = "sum"
+
+    def input_events(self) -> List[InputEvent]:
+        events = []
+        for i in range(0, len(self.rows), self.batch_size):
+            events.append(
+                InputEvent.make(
+                    at=(i // self.batch_size) * self.time_step,
+                    channel=CHANNEL,
+                    events=self.rows[i : i + self.batch_size],
+                )
+            )
+        return events
+
+
+@dataclass
+class CrashDifferentialResult:
+    """Verdict of one kill-restart-compare episode."""
+
+    spec: CrashSpec
+    ok: bool
+    crashed: bool  # False = crash_after landed past quiescence
+    reference: List[Row]
+    pre_crash: List[Row]
+    post_recovery: List[Row]
+    report: RecoveryReport
+
+    def explain(self) -> str:
+        if self.ok:
+            return "recovered ≡ uninterrupted"
+        combined = self.pre_crash + self.post_recovery
+        return (
+            f"recovered != uninterrupted for {render_crash_repro(self.spec)}"
+            f": reference={self.reference} pre={self.pre_crash} "
+            f"post={self.post_recovery} combined={combined} "
+            f"({self.report})"
+        )
+
+
+def render_crash_repro(spec: CrashSpec) -> str:
+    """One-line repro: paste back as ``check_crash_episode(CrashSpec(...))``."""
+    return (
+        f"CrashSpec(seed={spec.seed}, case={spec.case!r}, "
+        f"policy={spec.policy!r}, batch_size={spec.batch_size}, "
+        f"crash_after={spec.crash_after}, "
+        f"checkpoint_every={spec.checkpoint_every}, "
+        f"fsync={spec.fsync!r}, window={spec.window}, "
+        f"window_aggregate={spec.window_aggregate!r}, "
+        f"rows={list(spec.rows)!r})"
+    )
+
+
+# ----------------------------------------------------------------------
+# the three phases
+# ----------------------------------------------------------------------
+def _build(
+    spec: CrashSpec, directory: Optional[Path]
+) -> Tuple[SimScheduler, DataCell, "object"]:
+    """One engine with the episode's topology; durability iff a dir given.
+
+    Reference, crash, and recovery phases all build through here so the
+    basket/factory/emitter names are identical — the topology-identity
+    contract recovery requires.
+    """
+    metrics = _quiet_metrics()
+    sim = SimScheduler(seed=spec.seed, policy=spec.policy, metrics=metrics)
+    durability = (
+        DurabilityConfig(directory=directory, fsync=spec.fsync)
+        if directory is not None
+        else None
+    )
+    cell = DataCell(
+        clock=sim.clock, scheduler=sim, metrics=metrics,
+        durability=durability,
+    )
+    if spec.case == "window":
+        cell.create_basket(STREAM, [("v", AtomType.INT)])
+    else:
+        cell.create_basket(STREAM, COLUMNS)
+    channel = InMemoryChannel(CHANNEL)
+    cell.add_receptor("tap", [STREAM], channel=channel)
+    sim.bind_channel(CHANNEL, channel)
+    if spec.case == "window":
+        size, slide = spec.window
+        handle = cell.submit_window_aggregate(
+            STREAM,
+            "v",
+            [spec.window_aggregate],
+            WindowSpec(WindowMode.COUNT, size, slide),
+            incremental=True,
+            name=QUERY,
+        )
+    else:
+        handle = cell.submit_continuous(
+            ORACLE_CASES[spec.case].continuous_sql, name=QUERY
+        )
+    return sim, cell, handle
+
+
+def _reference_run(spec: CrashSpec) -> List[Row]:
+    sim, cell, handle = _build(spec, None)
+    sim.run_episode(spec.input_events())
+    return [tuple(r) for r in handle.fetch()]
+
+
+def _crash_run(spec: CrashSpec, directory: Path) -> Tuple[List[Row], bool]:
+    sim, cell, handle = _build(spec, directory)
+
+    def hook(fired: int) -> None:
+        if fired >= spec.crash_after:
+            raise SimulatedCrash(f"firing {fired}")
+        if spec.checkpoint_every and fired % spec.checkpoint_every == 0:
+            cell.checkpoint()
+
+    crashed = False
+    try:
+        sim.run_episode(spec.input_events(), on_firing=hook)
+    except SimulatedCrash:
+        crashed = True
+    pre = [tuple(r) for r in handle.fetch()]
+    # a kill, not a shutdown: close descriptors without the final fsync
+    cell.durability.abandon()
+    return pre, crashed
+
+
+def _recovery_run(
+    spec: CrashSpec, directory: Path
+) -> Tuple[List[Row], RecoveryReport]:
+    sim, cell, handle = _build(spec, directory)
+    report = cell.recover()
+    # drain whatever the replay left in-flight (suppressed rows are
+    # dropped by the emitter's recovered high-water mark)
+    while sim.sim_fire() is not None:
+        pass
+    # the stream suffix the dead process never ingested; ingest is FIFO
+    # through one receptor, so total_in is the exact resume point
+    remaining = spec.rows[cell.basket(STREAM).total_in :]
+    for i in range(0, len(remaining), spec.batch_size):
+        cell.basket(STREAM).insert_rows(
+            [list(r) for r in remaining[i : i + spec.batch_size]]
+        )
+        while sim.sim_fire() is not None:
+            pass
+    post = [tuple(r) for r in handle.fetch()]
+    cell.durability.close()
+    return post, report
+
+
+def check_crash_episode(
+    spec: CrashSpec, directory: Optional[Path] = None
+) -> CrashDifferentialResult:
+    """Run all three phases and compare exactly.
+
+    Window results are ordered by window index before comparison (both
+    sides), matching the PR 3 oracle's equivalence rules; plain query
+    rows are compared as raw sequences — emission content *and* order
+    are deterministic in ingest order.
+    """
+    if directory is None:
+        with tempfile.TemporaryDirectory(prefix="datacell-crash-") as tmp:
+            return check_crash_episode(spec, Path(tmp))
+    reference = _reference_run(spec)
+    pre, crashed = _crash_run(spec, directory / f"ep-{spec.seed}")
+    post, report = _recovery_run(spec, directory / f"ep-{spec.seed}")
+    combined = pre + post
+    if spec.case == "window":
+        combined = sorted(combined, key=lambda r: r[0])
+        reference = sorted(reference, key=lambda r: r[0])
+    return CrashDifferentialResult(
+        spec=spec,
+        ok=combined == reference,
+        crashed=crashed,
+        reference=reference,
+        pre_crash=pre,
+        post_recovery=post,
+        report=report,
+    )
+
+
+# ----------------------------------------------------------------------
+# seeded episode generation (CLI + CI gate)
+# ----------------------------------------------------------------------
+def crash_episode_spec(index: int, base_seed: int) -> CrashSpec:
+    """Deterministic episode ``index`` of a run with ``base_seed``.
+
+    Cycles the oracle cases plus a window case, the firing policies, and
+    the fsync modes; rows, batching, crash point, and checkpoint cadence
+    all derive from the seed.
+    """
+    seed = base_seed + index
+    rng = random.Random(f"datacell-crash-episode:{seed}")
+    cases = sorted(ORACLE_CASES) + ["window"]
+    case = cases[index % len(cases)]
+    if case == "window":
+        rows: Tuple[Row, ...] = tuple(
+            (rng.randint(0, 50),) for _ in range(rng.randint(8, 60))
+        )
+    else:
+        rows = tuple(
+            (rng.randint(-5, 30), rng.randint(0, 10))
+            for _ in range(rng.randint(5, 60))
+        )
+    batch = rng.choice((1, 2, 3, 5))
+    # ~3 firings per batch (receptor + factory + emitter); land the
+    # crash anywhere from the first firing to past quiescence so clean
+    # shutdowns are exercised too
+    est_firings = max(3, 3 * (len(rows) // batch + 1))
+    policies = list(policy_names())
+    return CrashSpec(
+        seed=seed,
+        rows=rows,
+        case=case,
+        policy=policies[index % len(policies)],
+        batch_size=batch,
+        crash_after=rng.randint(1, est_firings),
+        checkpoint_every=rng.choice((None, 2, 4, 7)),
+        fsync=FSYNC_CYCLE[index % len(FSYNC_CYCLE)],
+        window=WINDOW_GEOMETRIES[index % len(WINDOW_GEOMETRIES)],
+        window_aggregate=AGGREGATES[index % len(AGGREGATES)],
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="seeded DataCell crash-recovery episodes "
+        "(kill-and-restart differential gate)"
+    )
+    parser.add_argument("--episodes", type=int, default=100)
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base seed (default: DATACELL_SEED via repro.testing)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write a JSON repro artifact here on failure",
+    )
+    args = parser.parse_args(argv)
+    if args.seed is None:
+        args.seed = current_seed()
+
+    failures: List[str] = []
+    crashes = 0
+    for index in range(args.episodes):
+        spec = crash_episode_spec(index, args.seed)
+        result = check_crash_episode(spec)
+        crashes += int(result.crashed)
+        if not result.ok:
+            failures.append(result.explain())
+    print(
+        f"crash simtest: {args.episodes - len(failures)}/{args.episodes} "
+        f"episodes passed, {crashes} mid-run kills (base seed {args.seed})"
+    )
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    if failures and args.out:
+        with open(args.out, "w") as handle:
+            json.dump({"failures": failures}, handle, indent=2)
+        print(f"repro artifact written to {args.out}", file=sys.stderr)
+    return min(len(failures), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,9 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any, Callable, Dict, List, Optional, Sequence, Tuple, Union,
+)
 
 from ..adapters.channels import Channel
 from ..core.clock import VirtualClock
@@ -226,6 +228,7 @@ class SimScheduler(Scheduler):
         self,
         inputs: Sequence[InputEvent] = (),
         max_firings: int = 200_000,
+        on_firing: Optional[Callable[[int], None]] = None,
     ) -> EpisodeResult:
         """Drive the network through a scripted episode to quiescence.
 
@@ -233,6 +236,10 @@ class SimScheduler(Scheduler):
         and no fault-delayed batch is still in flight; between bursts the
         virtual clock jumps to the next instant something becomes due.
         Raises on livelock (``max_firings`` exceeded).
+
+        ``on_firing`` (if given) is called with the running firing count
+        after every successful firing; crash-injection harnesses raise
+        from it to kill the episode at a chosen transition boundary.
         """
         self._pending_inputs = sorted(inputs, key=lambda e: e.at)
         fired = 0
@@ -241,6 +248,8 @@ class SimScheduler(Scheduler):
             if self.sim_fire() is not None:
                 fired += 1
                 last_idle_state = None
+                if on_firing is not None:
+                    on_firing(fired)
                 if fired > max_firings:
                     raise SchedulerError(
                         f"episode did not quiesce within {max_firings} "

@@ -135,6 +135,18 @@ class MalContinuousPlan:
     def describe(self) -> str:
         return self.compiled.program.render()
 
+    # -- durability: a MAL plan re-binds fresh snapshots every
+    # activation, so there is nothing to checkpoint or restore
+    def export_state(self):
+        return None
+
+    def import_state(self, blob) -> None:
+        if blob is not None:
+            raise SqlError(
+                "MalContinuousPlan is stateless but a checkpoint "
+                "carried plan state"
+            )
+
 
 # ======================================================================
 # compiler core

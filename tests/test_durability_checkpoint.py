@@ -1,0 +1,178 @@
+"""Atomic checkpoints: round trip, fallback, pruning, background thread.
+
+Write-temp-then-rename must mean a reader only ever sees whole
+checkpoints: a corrupt or torn latest falls back to its predecessor, a
+missing manifest degrades to a directory scan, and pruning keeps the
+newest ``keep``.  The engine-level test pins the satellite-b contract:
+a basket restored from a checkpoint reproduces the exact
+``state_digest()`` captured inside the consistency cut.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DataCell
+from repro.durability import (
+    BasketState,
+    CheckpointSnapshot,
+    DurabilityConfig,
+    list_checkpoints,
+    load_latest_checkpoint,
+    write_checkpoint,
+)
+from repro.kernel.types import AtomType
+
+
+def _snapshot(checkpoint_id, values=(1, 2, 3)):
+    n = len(values)
+    return CheckpointSnapshot(
+        checkpoint_id=checkpoint_id,
+        wal_start_segment=4,
+        clock_now=12.5,
+        baskets={
+            "feed": BasketState(
+                columns=[
+                    ("v", AtomType.INT), ("dc_time", AtomType.TIMESTAMP)
+                ],
+                arrays=[
+                    np.array(values, dtype=np.int32),
+                    np.full(n, 1.25, dtype=np.float64),
+                ],
+                seqs=np.arange(n, dtype=np.int64),
+                next_seq=n,
+                readers={"q": 1},
+                total_in=n,
+                total_out=0,
+                total_shed=0,
+                digest="abc123",
+            )
+        },
+        factories={"q": {"bindings": [[2, 1]], "plan": None}},
+        emitters={"q_emitter": 7},
+    )
+
+
+def test_write_and_load_round_trip(tmp_path):
+    write_checkpoint(tmp_path, _snapshot(1))
+    loaded = load_latest_checkpoint(tmp_path)
+    assert loaded is not None
+    assert loaded.checkpoint_id == 1
+    assert loaded.wal_start_segment == 4
+    assert loaded.clock_now == 12.5
+    basket = loaded.baskets["feed"]
+    assert [n for n, _ in basket.columns] == ["v", "dc_time"]
+    assert list(basket.arrays[0]) == [1, 2, 3]
+    assert list(basket.seqs) == [0, 1, 2]
+    assert basket.next_seq == 3
+    assert basket.readers == {"q": 1}
+    assert basket.digest == "abc123"
+    assert loaded.factories == {"q": {"bindings": [[2, 1]], "plan": None}}
+    assert loaded.emitters == {"q_emitter": 7}
+
+
+def test_corrupt_latest_falls_back_to_predecessor(tmp_path):
+    write_checkpoint(tmp_path, _snapshot(1, values=(10,)))
+    write_checkpoint(tmp_path, _snapshot(2, values=(20,)))
+    (_, newest) = list_checkpoints(tmp_path)[-1]
+    data = bytearray((newest / "columns.bin").read_bytes())
+    data[-1] ^= 0xFF
+    (newest / "columns.bin").write_bytes(bytes(data))
+    loaded = load_latest_checkpoint(tmp_path)
+    assert loaded.checkpoint_id == 1
+    assert list(loaded.baskets["feed"].arrays[0]) == [10]
+
+
+def test_missing_manifest_degrades_to_scan(tmp_path):
+    write_checkpoint(tmp_path, _snapshot(1, values=(10,)))
+    write_checkpoint(tmp_path, _snapshot(2, values=(20,)))
+    (tmp_path / "MANIFEST.json").unlink()
+    loaded = load_latest_checkpoint(tmp_path)
+    assert loaded.checkpoint_id == 2
+
+
+def test_stale_manifest_is_only_a_hint(tmp_path):
+    write_checkpoint(tmp_path, _snapshot(1, values=(10,)))
+    write_checkpoint(tmp_path, _snapshot(2, values=(20,)))
+    (tmp_path / "MANIFEST.json").write_text(
+        json.dumps({"latest": "ckpt-00000099"})
+    )
+    loaded = load_latest_checkpoint(tmp_path)
+    assert loaded.checkpoint_id == 2
+
+
+def test_keep_prunes_oldest(tmp_path):
+    for i in (1, 2, 3):
+        write_checkpoint(tmp_path, _snapshot(i), keep=2)
+    assert [cid for cid, _ in list_checkpoints(tmp_path)] == [2, 3]
+
+
+def test_empty_directory_loads_none(tmp_path):
+    assert load_latest_checkpoint(tmp_path) is None
+
+
+# ----------------------------------------------------------------------
+# engine level
+# ----------------------------------------------------------------------
+def test_restored_basket_reproduces_checkpointed_digest(tmp_path):
+    """Satellite-b contract: digest(post-recovery) == digest(in-cut)."""
+    cell = DataCell(durability=DurabilityConfig(directory=tmp_path))
+    cell.create_basket("feed", [("a", AtomType.INT), ("b", AtomType.DBL)])
+    cell.submit_continuous(
+        "select x.a from [select * from feed where feed.a > 0] as x",
+        name="q",
+    )
+    cell.basket("feed").insert_rows([(1, 0.5), (-2, 1.5), (3, 2.5)])
+    cell.run_until_quiescent()
+    cell.basket("feed").insert_rows([(4, 3.5)])  # in-flight at the cut
+    cell.checkpoint()
+    digests = {
+        b.name: b.state_digest()
+        for b in cell.catalog.baskets()
+        if hasattr(b, "state_digest")
+    }
+    cell.durability.abandon()
+
+    cell2 = DataCell(durability=DurabilityConfig(directory=tmp_path))
+    cell2.create_basket("feed", [("a", AtomType.INT), ("b", AtomType.DBL)])
+    cell2.submit_continuous(
+        "select x.a from [select * from feed where feed.a > 0] as x",
+        name="q",
+    )
+    cell2.recover()
+    for basket in cell2.catalog.baskets():
+        if hasattr(basket, "state_digest"):
+            assert basket.state_digest() == digests[basket.name], basket.name
+    cell2.durability.close()
+
+
+def test_background_checkpointer_thread(tmp_path):
+    cell = DataCell(
+        durability=DurabilityConfig(
+            directory=tmp_path, checkpoint_interval=0.02
+        )
+    )
+    cell.create_basket("feed", [("a", AtomType.INT)])
+    cell.basket("feed").insert_rows([(1,), (2,)])
+    cell.start()
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if cell.durability.stats()["checkpoints"] >= 2:
+            break
+        time.sleep(0.01)
+    assert cell.stop() == []
+    assert cell.durability.stats()["checkpoints"] >= 2
+    assert load_latest_checkpoint(tmp_path / "checkpoints") is not None
+    cell.durability.close()
+
+
+def test_checkpoint_requires_durability():
+    cell = DataCell()
+    from repro.errors import DataCellError
+
+    with pytest.raises(DataCellError):
+        cell.checkpoint()
+    with pytest.raises(DataCellError):
+        cell.recover()

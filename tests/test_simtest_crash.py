@@ -1,0 +1,103 @@
+"""The kill-and-restart differential gate.
+
+Seeded episodes (the same generator the CI job runs) must all pass —
+recovered output byte-identical to the uninterrupted run — for plain
+continuous queries and COUNT-window aggregates alike, across all fsync
+policies and checkpoint cadences.  A deliberately planted
+duplicate-delivery bug (high-water suppression disabled) must be
+*caught*, proving the differential has teeth.
+"""
+
+import pytest
+
+from repro.core.emitter import Emitter
+from repro.simtest.crash import (
+    CrashSpec,
+    check_crash_episode,
+    crash_episode_spec,
+)
+
+# 4 chunks x 25 = 100 seeded episodes, the acceptance floor; chunking
+# keeps per-test wall time visible and failures localized
+CHUNK = 25
+
+
+@pytest.mark.parametrize("chunk", range(4))
+def test_seeded_crash_episodes_recover_byte_identically(chunk):
+    for index in range(chunk * CHUNK, (chunk + 1) * CHUNK):
+        spec = crash_episode_spec(index, base_seed=0)
+        result = check_crash_episode(spec)
+        assert result.ok, result.explain()
+
+
+def test_both_query_shapes_and_all_fsync_policies_are_exercised():
+    specs = [crash_episode_spec(i, base_seed=0) for i in range(100)]
+    cases = {s.case for s in specs}
+    assert "window" in cases
+    assert len(cases) >= 4
+    assert {s.fsync for s in specs} == {"interval", "off", "always"}
+    assert any(s.checkpoint_every for s in specs)
+    assert any(s.checkpoint_every is None for s in specs)
+
+
+def test_explicit_mid_stream_crash_with_checkpoint():
+    spec = CrashSpec(
+        seed=42,
+        rows=tuple((v, v % 7) for v in range(30)),
+        case="passthrough",
+        policy="priority",
+        batch_size=4,
+        crash_after=9,
+        checkpoint_every=3,
+        fsync="always",
+    )
+    result = check_crash_episode(spec)
+    assert result.crashed
+    assert result.ok, result.explain()
+    # the crash landed mid-stream: both phases must have delivered rows
+    assert result.pre_crash
+    assert result.post_recovery
+
+
+def test_window_episode_recovers_partial_window_state():
+    spec = CrashSpec(
+        seed=43,
+        rows=tuple((v,) for v in range(25)),
+        case="window",
+        window=(4, 2),
+        window_aggregate="sum",
+        policy="round-robin",
+        batch_size=3,
+        crash_after=8,
+        checkpoint_every=4,
+    )
+    result = check_crash_episode(spec)
+    assert result.crashed
+    assert result.ok, result.explain()
+
+
+def test_planted_duplicate_delivery_bug_is_caught(monkeypatch):
+    """Disable high-water suppression: replayed rows re-deliver, and the
+    differential must flag the duplicates."""
+    original = Emitter.activate
+
+    def no_suppression(self):
+        self.high_water_seq = -1  # forget everything ever delivered
+        return original(self)
+
+    monkeypatch.setattr(Emitter, "activate", no_suppression)
+    spec = CrashSpec(
+        seed=44,
+        rows=tuple((v + 11, 0) for v in range(20)),  # all pass the filter
+        case="filter",
+        policy="priority",
+        batch_size=2,
+        crash_after=12,
+        checkpoint_every=None,
+        fsync="off",
+    )
+    result = check_crash_episode(spec)
+    assert result.crashed
+    assert not result.ok
+    combined = result.pre_crash + result.post_recovery
+    assert len(combined) > len(result.reference)  # duplicates, not loss
