@@ -1,6 +1,11 @@
 """Benchmark-harness helpers shared by benchmarks/bench_*.py."""
 
-from .reporting import format_table, print_table, record_result
+from .reporting import (
+    format_table,
+    print_table,
+    record_bench_fig1,
+    record_result,
+)
 from .runner import (
     Measurement,
     PipelineFixture,
@@ -15,5 +20,6 @@ __all__ = [
     "run_stream_through",
     "format_table",
     "print_table",
+    "record_bench_fig1",
     "record_result",
 ]

@@ -18,10 +18,23 @@ from typing import Any, Dict, Optional, Sequence
 
 from ..testing import current_seed
 
-__all__ = ["format_table", "print_table", "record_result", "RESULTS_PATH"]
+__all__ = [
+    "format_table",
+    "print_table",
+    "record_result",
+    "record_bench_fig1",
+    "RESULTS_PATH",
+    "BENCH_FIG1_PATH",
+]
 
 RESULTS_PATH = str(
     pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results.json"
+)
+
+#: CI artifact at the repo root: the Figure-1 headline numbers plus the
+#: telemetry-overhead measurement, one JSON object keyed by experiment.
+BENCH_FIG1_PATH = str(
+    pathlib.Path(__file__).resolve().parents[3] / "BENCH_fig1.json"
 )
 
 
@@ -94,3 +107,13 @@ def record_result(
     with open(tmp, "w") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
     os.replace(tmp, target)
+
+
+def record_bench_fig1(experiment: str, payload: Dict[str, Any]) -> None:
+    """Record one experiment into the repo-root ``BENCH_fig1.json``.
+
+    Same merge-and-rename semantics as :func:`record_result`, different
+    target: this file is the CI artifact carrying the headline series
+    (Figure-1 throughput and the sys-streams overhead gate).
+    """
+    record_result(experiment, payload, path=BENCH_FIG1_PATH)

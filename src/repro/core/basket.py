@@ -141,6 +141,13 @@ class Basket(Table):
         self._next_seq = 0
         self.min_count = 1  # scheduler firing threshold (paper §2.4)
         self.capacity: Optional[int] = None  # load-shedding high watermark
+        # system streams (repro.obs.sysstreams): reserved sys.* baskets
+        # are exempt from WAL capture, checkpoints, and load shedding;
+        # instead ``retention`` bounds them as a ring buffer — oldest
+        # rows beyond it are trimmed silently, never counted as shed
+        self.is_system = False
+        self.retention: Optional[int] = None
+        self.total_trimmed = 0
         # durability hook: when a DurabilityManager is attached, every
         # ingested batch is write-ahead logged at this boundary (before
         # load shedding, which replay re-applies deterministically)
@@ -249,6 +256,7 @@ class Basket(Table):
             if self.wal_sink is not None:
                 self._log_ingest(n, stamp)
             shed = self._shed_if_over_capacity()
+            self._trim_to_retention()
             self._record_depth()
         return len(rows) - shed
 
@@ -294,6 +302,7 @@ class Basket(Table):
             if self.wal_sink is not None:
                 self._log_ingest(n, stamp)
             shed = self._shed_if_over_capacity()
+            self._trim_to_retention()
             self._record_depth()
         return n - shed
 
@@ -323,6 +332,18 @@ class Basket(Table):
         self._rebuild_keeping(np.arange(overflow, self.count, dtype=np.int64))
         self.total_shed += overflow
         self._m_shed.inc(overflow)
+        return overflow
+
+    def _trim_to_retention(self) -> int:
+        """Ring-buffer retention (call under ``self.lock``): drop oldest
+        rows beyond ``retention`` without counting them as shed — this is
+        the bounded-history semantics of ``sys.*`` streams, not a load
+        response."""
+        if self.retention is None or self.count <= self.retention:
+            return 0
+        overflow = self.count - self.retention
+        self._rebuild_keeping(np.arange(overflow, self.count, dtype=np.int64))
+        self.total_trimmed += overflow
         return overflow
 
     # ------------------------------------------------------------------
@@ -645,6 +666,7 @@ class Basket(Table):
             self.total_in += rows_added
             self._m_in.inc(rows_added)
             self._shed_if_over_capacity()
+            self._trim_to_retention()
             self._record_depth()
         return rows_added
 

@@ -32,8 +32,15 @@ from ..kernel.mal import ResultSet
 from ..kernel.types import AtomType
 from ..obs.dashboard import render_dashboard
 from ..obs.flightrec import FlightRecorder
+from ..obs.httpd import TelemetryServer
 from ..obs.metrics import MetricsRegistry
 from ..obs.spans import SpanRecorder
+from ..obs.sysstreams import (
+    AlertRule,
+    SystemStreamsConfig,
+    TelemetrySampler,
+    is_system_name,
+)
 from ..obs.tracing import TraceLog
 from ..sql.ast_nodes import (
     CreateBasket,
@@ -84,6 +91,7 @@ class DataCell:
         trace: Optional[TraceLog] = None,
         spans: Optional[SpanRecorder] = None,
         durability: Optional[DurabilityConfig] = None,
+        system_streams: Union[bool, SystemStreamsConfig, None] = None,
     ):
         self.clock = clock or WallClock()
         self.catalog = Catalog()
@@ -116,6 +124,15 @@ class DataCell:
             if durability is not None
             else None
         )
+        # self-monitoring (opt-in): the sys.* streams and the HTTP door
+        self.sys: Optional[TelemetrySampler] = None
+        self.httpd: Optional[TelemetryServer] = None
+        if system_streams:
+            self.enable_system_streams(
+                system_streams
+                if isinstance(system_streams, SystemStreamsConfig)
+                else None
+            )
 
     # ------------------------------------------------------------------
     # DDL / DML / one-time queries
@@ -141,6 +158,10 @@ class DataCell:
             )
             return None
         if isinstance(stmt, Drop):
+            if is_system_name(stmt.name):
+                raise SqlError(
+                    f"cannot drop reserved system stream {stmt.name!r}"
+                )
             self.catalog.drop(stmt.name)
             return None
         if isinstance(stmt, Insert):
@@ -198,6 +219,11 @@ class DataCell:
         return header + "\n" + program.render()
 
     def _execute_insert(self, stmt: Insert) -> None:
+        if is_system_name(stmt.table):
+            raise SqlError(
+                f"system stream {stmt.table!r} is read-only: its rows are "
+                "produced by the telemetry sampler"
+            )
         table = self.catalog.get(stmt.table)
         rows = [
             [_literal_of(expr) for expr in row] for row in stmt.rows
@@ -227,18 +253,50 @@ class DataCell:
         self, name: str, columns: Sequence[Tuple[str, AtomType]]
     ) -> Table:
         """Create a persistent (static) relational table."""
+        self._reject_system_name(name)
         return self.catalog.create_table(name, columns)
 
     def create_basket(
         self, name: str, columns: Sequence[Tuple[str, AtomType]]
     ) -> Basket:
         """Create a stream basket and register it in the catalog."""
+        self._reject_system_name(name)
         basket = Basket(
             name, columns, self.clock,
             metrics=self.metrics, tracer=self.spans,
         )
         if self.durability is not None:
             basket.wal_sink = self.durability
+        self.catalog.register(basket)
+        return basket
+
+    def _reject_system_name(self, name: str) -> None:
+        if is_system_name(name):
+            raise SqlError(
+                f"the sys. schema is reserved for system streams "
+                f"(cannot create {name!r})"
+            )
+
+    def _create_system_basket(
+        self,
+        name: str,
+        columns: Sequence[Tuple[str, AtomType]],
+        retention: int,
+    ) -> Basket:
+        """Create one reserved ``sys.*`` basket (telemetry sampler only).
+
+        System baskets never get a ``wal_sink`` — their rows are derived
+        measurements, recomputed by any run — and are bounded by ring
+        retention rather than the shedding watermark.
+        """
+        if self.catalog.has(name):
+            raise DataCellError(f"system stream {name!r} already exists")
+        basket = Basket(
+            name, columns, self.clock,
+            metrics=self.metrics, tracer=self.spans,
+        )
+        basket.is_system = True
+        basket.retention = retention
         self.catalog.register(basket)
         return basket
 
@@ -252,6 +310,11 @@ class DataCell:
         """Append tuples to a basket (stamping time) or plain table."""
         table = self.catalog.get(name)
         if isinstance(table, Basket):
+            if table.is_system:
+                raise SqlError(
+                    f"system stream {name!r} is read-only: its rows are "
+                    "produced by the telemetry sampler"
+                )
             return table.insert_rows(rows)
         return table.append_rows(rows)
 
@@ -564,12 +627,77 @@ class DataCell:
         """Stop threaded mode; returns names of threads that failed to
         join within ``timeout`` (empty on clean shutdown).  With
         durability enabled the checkpointer thread is stopped and the
-        WAL is fsynced to disk regardless of fsync policy."""
+        WAL is fsynced to disk regardless of fsync policy.  A running
+        telemetry HTTP server is shut down too."""
         leftovers = self.scheduler.stop(timeout)
         if self.durability is not None:
             self.durability.stop_checkpointer(timeout)
             self.durability.flush()
+        if self.httpd is not None:
+            self.httpd.close(timeout)
+            self.httpd = None
         return leftovers
+
+    # ------------------------------------------------------------------
+    # self-monitoring surface (system streams, alerts, HTTP endpoint)
+    # ------------------------------------------------------------------
+    def enable_system_streams(
+        self, config: Optional[SystemStreamsConfig] = None
+    ) -> TelemetrySampler:
+        """Turn on the ``sys.*`` streams (idempotent-hostile: once).
+
+        Registers the :class:`TelemetrySampler` transition with the
+        scheduler; from then on ``sys.metrics`` / ``sys.queries`` /
+        ``sys.baskets`` / ``sys.events`` exist in the catalog and
+        meta-queries over them are ordinary continuous queries.
+        """
+        if self.sys is not None:
+            raise DataCellError("system streams are already enabled")
+        self.sys = TelemetrySampler(self, config)
+        self.scheduler.register(self.sys)
+        return self.sys
+
+    def disable_system_streams(self) -> None:
+        """Unregister the sampler, cancel alerts, drop ``sys.*`` baskets."""
+        if self.sys is None:
+            return
+        self.sys.close()
+        self.sys = None
+
+    def add_alert(
+        self,
+        name: str,
+        sql: str,
+        callback: Optional[Callable[[AlertRule, List[Tuple]], None]] = None,
+    ) -> AlertRule:
+        """Register an alert rule: a meta-query with firing semantics.
+
+        ``sql`` is a continuous query (normally over ``sys.*`` streams)
+        whose non-empty deliveries constitute a breach; the rule fires
+        once per breach window (see :class:`AlertRule`) into ``callback``
+        and ``sys.events``.
+        """
+        if self.sys is None:
+            raise DataCellError(
+                "enable system streams before adding alerts "
+                "(enable_system_streams())"
+            )
+        if name in self.sys.alerts:
+            raise DataCellError(f"alert {name!r} already exists")
+        query = self.submit_continuous(sql, name=f"alert_{name}")
+        return AlertRule(name, query, self.sys, callback, self.metrics)
+
+    def serve_http(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> TelemetryServer:
+        """Start (or return) the background HTTP telemetry endpoint.
+
+        Port ``0`` binds any free port; see
+        :attr:`TelemetryServer.url` for the resolved address.
+        """
+        if self.httpd is None:
+            self.httpd = TelemetryServer(self, host=host, port=port).start()
+        return self.httpd
 
     # ------------------------------------------------------------------
     # durability surface
@@ -679,6 +807,23 @@ class DataCell:
         }
         if self.durability is not None:
             out["durability"] = self.durability.stats()
+        if self.sys is not None:
+            out["sys"] = {
+                "samples": self.sys.samples_taken,
+                "rows": self.sys.rows_emitted,
+                "streams": {
+                    name: b.count for name, b in self.sys.baskets.items()
+                },
+                "alerts": {
+                    name: rule.firings
+                    for name, rule in self.sys.alerts.items()
+                },
+            }
+        if self.httpd is not None:
+            out["http"] = {
+                "url": self.httpd.url,
+                "requests": self.httpd.requests_served,
+            }
         return out
 
     def render_dashboard(self, trace_events: int = 10) -> str:

@@ -51,6 +51,10 @@ def apply_shedding_policy(
         raise BasketError(f"unknown shedding policy {policy!r}")
     if capacity < 0:
         raise BasketError("capacity cannot be negative")
+    if basket.is_system:
+        # sys.* streams are exempt from shedding by construction: they
+        # are bounded by ring-buffer retention instead (sysstreams.py)
+        return 0
     with basket.lock:
         overflow = basket.count - capacity
         if overflow <= 0:

@@ -161,11 +161,14 @@ class DurabilityManager:
         with self._checkpoint_lock:
             started = time.perf_counter()
             checkpoint_id = self._next_checkpoint_id
+            # system baskets (sys.*) are derived telemetry: never WAL'd
+            # (their wal_sink stays None), never checkpointed — recovery
+            # rebuilds them empty and the sampler repopulates them
             baskets = sorted(
                 (
                     t
                     for t in self.engine.catalog.baskets()
-                    if isinstance(t, Basket)
+                    if isinstance(t, Basket) and not t.is_system
                 ),
                 key=lambda b: b.name.lower(),
             )

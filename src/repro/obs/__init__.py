@@ -15,7 +15,14 @@ need measurements.  This package is the engine-wide measurement substrate:
 * :mod:`repro.obs.flightrec` — a stall-detecting watchdog writing JSON
   post-mortems (basket depths, factory states, spans, thread stacks);
 * :mod:`repro.obs.dashboard` — renders a :meth:`DataCell.stats` snapshot
-  as an aligned text dashboard.
+  as an aligned text dashboard;
+* :mod:`repro.obs.sysstreams` — the engine monitoring itself: a sampler
+  transition turning registry readings into rows of reserved ``sys.*``
+  baskets, queryable with ordinary continuous SQL (meta-queries), plus
+  :class:`AlertRule` firing semantics on top;
+* :mod:`repro.obs.httpd` — a stdlib HTTP endpoint serving ``/metrics``
+  (Prometheus), ``/dashboard``, ``/stats``, ``/explain/<query>`` and
+  ``/sys/<basket>`` from a live cell.
 
 Every core component (scheduler, factory, basket, receptor, emitter, MAL
 interpreter) accepts a ``metrics`` registry; components built without one
@@ -37,6 +44,18 @@ from .tracing import TraceEvent, TraceLog
 from .spans import Span, SpanRecorder
 from .flightrec import FlightRecorder, StallEvent
 from .dashboard import render_dashboard
+from .sysstreams import (
+    SYS_BASKETS,
+    SYS_EVENTS,
+    SYS_METRICS,
+    SYS_QUERIES,
+    AlertRule,
+    SystemStreamsConfig,
+    TelemetrySampler,
+    is_system_name,
+    tail_rows,
+)
+from .httpd import TelemetryServer
 
 __all__ = [
     "Counter",
@@ -54,4 +73,14 @@ __all__ = [
     "FlightRecorder",
     "StallEvent",
     "render_dashboard",
+    "SYS_BASKETS",
+    "SYS_EVENTS",
+    "SYS_METRICS",
+    "SYS_QUERIES",
+    "AlertRule",
+    "SystemStreamsConfig",
+    "TelemetrySampler",
+    "is_system_name",
+    "tail_rows",
+    "TelemetryServer",
 ]

@@ -134,6 +134,34 @@ def render_dashboard(
             rows,
         ))
 
+    sys_section = stats.get("sys")
+    if sys_section:
+        streams = sys_section.get("streams", {})
+        alerts = sys_section.get("alerts", {})
+        rows = [
+            (name, int(depth))
+            for name, depth in sorted(streams.items())
+        ]
+        sections.append(format_table(
+            f"System streams (samples={sys_section.get('samples', 0)} "
+            f"rows={sys_section.get('rows', 0)})",
+            ["stream", "depth"],
+            rows,
+        ))
+        if alerts:
+            sections.append(format_table(
+                "Alert rules",
+                ["alert", "firings"],
+                [(n, int(f)) for n, f in sorted(alerts.items())],
+            ))
+
+    http_section = stats.get("http")
+    if http_section:
+        sections.append(
+            f"http: {http_section.get('url')} "
+            f"requests={http_section.get('requests', 0)}"
+        )
+
     if trace is not None and len(trace):
         sections.append(
             f"== Trace (last {trace_events} of {len(trace)} buffered) ==\n"

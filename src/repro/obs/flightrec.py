@@ -113,6 +113,9 @@ class FlightRecorder:
         depths = {
             basket.name: basket.count
             for basket in self.cell.catalog.baskets()
+            # sys.* baskets fill by design and drain only by retention:
+            # their rising depth is not a stall signature
+            if not getattr(basket, "is_system", False)
         }
         with self._lock:
             self._samples.append(
@@ -314,9 +317,31 @@ class FlightRecorder:
                 for e in cell.trace.events()[-self.trace_events:]
             ],
             "spans": span_dump,
+            "sys_streams": self._sys_tails(),
             "thread_stacks": _thread_stacks(),
         }
         return doc
+
+    def _sys_tails(self, limit: int = 32) -> Dict[str, Any]:
+        """Last rows of ``sys.metrics``/``sys.events``, when enabled.
+
+        The post-mortem then carries the engine's own recent telemetry —
+        what the metrics looked like, which events fired — next to the
+        structural snapshot, so a dump is self-contained.
+        """
+        sampler = getattr(self.cell, "sys", None)
+        if sampler is None:
+            return {}
+        from .sysstreams import SYS_EVENTS, SYS_METRICS, tail_rows
+
+        out: Dict[str, Any] = {}
+        for name in (SYS_METRICS, SYS_EVENTS):
+            basket = sampler.baskets.get(name)
+            if basket is None:
+                continue
+            columns, rows = tail_rows(basket, limit)
+            out[name] = {"columns": columns, "rows": rows}
+        return out
 
     def dump(self, path: str, reason: str = "manual") -> Dict[str, Any]:
         """Write the post-mortem JSON to ``path`` (atomic rename)."""

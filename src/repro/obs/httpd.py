@@ -1,0 +1,169 @@
+"""A stdlib HTTP telemetry endpoint for one DataCell.
+
+A deliberate stepping stone toward a real server front door: a
+``http.server.ThreadingHTTPServer`` on a background thread (named
+``datacell-httpd`` so the test suite's thread-hermeticity fixture
+catches a leaked server) serving read-only views of the engine:
+
+====================  =================================================
+``GET /metrics``      Prometheus text exposition (the scrape target)
+``GET /dashboard``    the aligned text dashboard (``render_dashboard``)
+``GET /stats``        :meth:`DataCell.stats` as JSON
+``GET /explain/<q>``  continuous EXPLAIN ANALYZE for query name ``<q>``
+``GET /sys/<basket>`` JSON tail of a system stream (bare names are
+                      resolved under ``sys.``; ``?limit=N`` caps rows)
+``GET /healthz``      liveness probe (``ok``)
+====================  =================================================
+
+Everything is computed on demand from live engine state; the server
+holds no caches and never mutates the cell.  Binding port ``0`` picks a
+free port (tests); :attr:`TelemetryServer.port` reports the bound one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlparse
+
+__all__ = ["TelemetryServer"]
+
+
+class TelemetryServer:
+    """Serves a DataCell's observability surface over HTTP."""
+
+    def __init__(
+        self,
+        cell: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sys_tail_limit: int = 50,
+    ):
+        self.cell = cell
+        self.sys_tail_limit = sys_tail_limit
+        handler = _make_handler(self)
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "TelemetryServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="datacell-httpd",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop serving and join the server thread."""
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout)
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    # routing (returns (status, content_type, body))
+    # ------------------------------------------------------------------
+    def handle(self, raw_path: str) -> Tuple[int, str, str]:
+        parsed = urlparse(raw_path)
+        path = unquote(parsed.path).rstrip("/") or "/"
+        query = parse_qs(parsed.query)
+        try:
+            if path == "/metrics":
+                return 200, "text/plain; version=0.0.4", (
+                    self.cell.prometheus_text() or "# (registry disabled)\n"
+                )
+            if path == "/dashboard":
+                return 200, "text/plain", self.cell.render_dashboard()
+            if path == "/stats":
+                return 200, "application/json", json.dumps(
+                    self.cell.stats(), indent=1, default=str
+                )
+            if path == "/healthz":
+                return 200, "text/plain", "ok\n"
+            if path.startswith("/explain/"):
+                return self._explain(path[len("/explain/"):])
+            if path.startswith("/sys/"):
+                return self._sys_tail(path[len("/sys/"):], query)
+        except Exception as exc:  # surface engine errors as 500s
+            return 500, "text/plain", f"{type(exc).__name__}: {exc}\n"
+        return 404, "text/plain", f"unknown path {path!r}\n"
+
+    def _explain(self, target: str) -> Tuple[int, str, str]:
+        for query in self.cell.continuous_queries():
+            if query.name == target:
+                return 200, "text/plain", self.cell.explain(target)
+        return 404, "text/plain", f"no continuous query named {target!r}\n"
+
+    def _sys_tail(self, name: str, query: dict) -> Tuple[int, str, str]:
+        from .sysstreams import is_system_name, tail_rows
+
+        basket_name = name if is_system_name(name) else f"sys.{name}"
+        if not self.cell.catalog.has(basket_name):
+            return 404, "text/plain", (
+                f"no system stream {basket_name!r} "
+                "(are system streams enabled?)\n"
+            )
+        try:
+            limit = int(query.get("limit", [self.sys_tail_limit])[0])
+        except (TypeError, ValueError):
+            return 400, "text/plain", "limit must be an integer\n"
+        basket = self.cell.basket(basket_name)
+        columns, rows = tail_rows(basket, max(0, limit))
+        return 200, "application/json", json.dumps(
+            {
+                "basket": basket.name,
+                "columns": columns,
+                "rows": rows,
+                "depth": basket.count,
+                "total_in": basket.total_in,
+            },
+            default=str,
+        )
+
+
+def _make_handler(server: TelemetryServer):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+            status, content_type, body = server.handle(self.path)
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+            server.requests_served += 1
+
+        def log_message(self, format: str, *args: Any) -> None:
+            pass  # telemetry must not spam the engine's stdout
+
+    return Handler

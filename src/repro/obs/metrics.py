@@ -227,7 +227,23 @@ class Histogram:
         return float(self._count)
 
     def percentile(self, q: float) -> float:
-        """Estimate the q-th percentile (0..100) from the buckets."""
+        """Estimate the q-th percentile (0..100) from the buckets.
+
+        Accuracy contract (bucket-upper-bound bias): the estimate is
+        linear interpolation between the containing bucket's bounds,
+        clamped to the observed ``min``/``max``.  The true quantile lies
+        somewhere in the same bucket, so the absolute error is bounded by
+        that bucket's width — tight for dense buckets, coarse in the
+        sparse tail.  Because interpolation assumes observations are
+        uniform *within* the bucket, a mass concentrated at the bucket's
+        lower edge biases the estimate *upward* (toward the upper bound),
+        and vice versa; the error never leaves the bucket.  The ``+Inf``
+        bucket has no upper bound to interpolate toward, so the observed
+        ``max`` stands in for it: quantiles landing there interpolate
+        between the largest finite bound (or the observed ``min``, if
+        larger) and ``max``, and the error bound widens to that whole
+        open tail.  ``tests/test_obs_metrics.py`` pins these bounds.
+        """
         if not 0 <= q <= 100:
             raise ObservabilityError("percentile must be in [0, 100]")
         with self._lock:

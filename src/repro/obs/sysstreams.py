@@ -1,0 +1,450 @@
+"""System streams — the engine monitoring itself with its own machinery.
+
+The paper's thesis is that streams belong *inside* the relational
+kernel; this module closes the loop by turning the engine's telemetry
+into first-class streams.  A :class:`TelemetrySampler` transition runs
+on the ordinary scheduler at a configurable cadence (driven by the
+cell's clock, so ``LogicalClock`` tests are deterministic) and converts
+:class:`~repro.obs.metrics.MetricsRegistry` readings into *delta rows*
+appended to four reserved baskets:
+
+``sys.metrics``
+    one row per instrument whose value changed since the last sample
+    (``metric, labels, kind, value, delta``); histograms expand into
+    ``_count``/``_sum``/``_p50``/``_p99`` suffixed rows;
+``sys.queries``
+    one row per continuous query per sample (delivered/activation
+    deltas plus instantaneous p50/p99 insert→emit latency);
+``sys.baskets``
+    one row per *user* basket per sample (depth, depth delta, flow
+    deltas, high water) — the flight recorder's stall predicate
+    becomes the one-liner ``depth_delta > 0 and consumed_delta = 0``;
+``sys.events``
+    discrete occurrences: stall/checkpoint/recovery/error trace events
+    drained from the trace ring, plus alert firings.
+
+System baskets are deliberately *second-class citizens of durability
+and shedding*: they are exempt from WAL capture (their rows are derived
+measurements, recomputed by any run), excluded from checkpoints, immune
+to load shedding, and bounded by a ring-buffer ``retention`` instead —
+dropping the oldest rows without counting them as shed.
+
+Because the baskets live in the ordinary catalog (under the reserved
+``sys.`` schema), **meta-queries** are just continuous queries::
+
+    cell.submit_continuous(
+        "select b.basket, b.depth from "
+        "[select * from sys.baskets where depth_delta > 0 "
+        "and consumed_delta = 0] as b")
+
+:class:`AlertRule` wraps such a query with once-per-breach-window
+firing semantics and routes firings to callbacks and ``sys.events``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..kernel.types import AtomType
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "SYS_SCHEMA",
+    "SYS_METRICS",
+    "SYS_QUERIES",
+    "SYS_BASKETS",
+    "SYS_EVENTS",
+    "SYS_STREAM_SCHEMAS",
+    "SystemStreamsConfig",
+    "TelemetrySampler",
+    "AlertRule",
+    "is_system_name",
+    "tail_rows",
+]
+
+SYS_SCHEMA = "sys."
+SYS_METRICS = "sys.metrics"
+SYS_QUERIES = "sys.queries"
+SYS_BASKETS = "sys.baskets"
+SYS_EVENTS = "sys.events"
+
+#: Reserved basket schemas (user columns; ``dc_time`` is implicit).
+SYS_STREAM_SCHEMAS: Dict[str, List[Tuple[str, AtomType]]] = {
+    SYS_METRICS: [
+        ("metric", AtomType.STR),
+        ("labels", AtomType.STR),
+        ("kind", AtomType.STR),
+        ("value", AtomType.DBL),
+        ("delta", AtomType.DBL),
+    ],
+    SYS_QUERIES: [
+        ("query", AtomType.STR),
+        ("delivered", AtomType.LNG),
+        ("delivered_delta", AtomType.LNG),
+        ("activations", AtomType.LNG),
+        ("activations_delta", AtomType.LNG),
+        ("p50_latency", AtomType.DBL),
+        ("p99_latency", AtomType.DBL),
+    ],
+    SYS_BASKETS: [
+        ("basket", AtomType.STR),
+        ("depth", AtomType.LNG),
+        ("depth_delta", AtomType.LNG),
+        ("inserted_delta", AtomType.LNG),
+        ("consumed_delta", AtomType.LNG),
+        ("shed_delta", AtomType.LNG),
+        ("high_water", AtomType.LNG),
+    ],
+    SYS_EVENTS: [
+        ("kind", AtomType.STR),
+        ("component", AtomType.STR),
+        ("detail", AtomType.STR),
+    ],
+}
+
+
+def is_system_name(name: str) -> bool:
+    """True for names in the reserved ``sys.`` schema."""
+    return name.lower().startswith(SYS_SCHEMA)
+
+
+@dataclass
+class SystemStreamsConfig:
+    """Knobs for the telemetry sampler and the reserved baskets.
+
+    ``interval`` is in the cell clock's units (seconds for the default
+    :class:`~repro.core.clock.WallClock`; ticks for a ``LogicalClock``).
+    ``retention`` bounds every ``sys.*`` basket as a ring buffer.
+    """
+
+    interval: float = 1.0
+    retention: int = 512
+    include_histograms: bool = True
+    #: trace-ring event kinds forwarded into ``sys.events``
+    event_kinds: Tuple[str, ...] = (
+        "stall", "checkpoint", "recovery", "error", "shed",
+    )
+
+
+class TelemetrySampler:
+    """The ``sys_sampler`` transition: telemetry → system-stream rows.
+
+    A :class:`~repro.core.scheduler.SchedulableTransition` like any
+    receptor or emitter — cadence comes from ``enabled()`` comparing the
+    cell clock against the next due time, so both driving modes (and the
+    deterministic simulator) sample without a dedicated thread.  The
+    priority is below emitters: a sample observes the sweep's settled
+    state, not its intermediate churn.
+
+    Self-measurement is cut off at the source: instruments labeled with
+    ``sys.*`` names (the system baskets' own depth/flow counters) and
+    with this transition's name are skipped, so a sample never makes the
+    next sample non-empty and ``run_until_quiescent`` still quiesces.
+    """
+
+    def __init__(self, cell: Any, config: Optional[SystemStreamsConfig] = None):
+        self.cell = cell
+        self.config = config or SystemStreamsConfig()
+        if self.config.interval <= 0:
+            raise ValueError("sampler interval must be positive")
+        if self.config.retention <= 0:
+            raise ValueError("sys stream retention must be positive")
+        self.name = "sys_sampler"
+        self.priority = -20
+        self.baskets: Dict[str, Any] = {}
+        for basket_name, columns in SYS_STREAM_SCHEMAS.items():
+            self.baskets[basket_name] = cell._create_system_basket(
+                basket_name, columns, self.config.retention
+            )
+        self.samples_taken = 0
+        self.rows_emitted = 0
+        self.alerts: Dict[str, "AlertRule"] = {}
+        self._next_due = cell.clock.now() + self.config.interval
+        # previous-sample values, keyed per stream; deltas come from here
+        self._prev_metrics: Dict[Tuple[str, str, Tuple[str, ...]], float] = {}
+        self._prev_queries: Dict[str, Tuple[int, int]] = {}
+        self._prev_baskets: Dict[str, Tuple[int, int, int, int]] = {}
+        self._trace_cursor = cell.trace.total_recorded
+        metrics: MetricsRegistry = cell.metrics
+        self._m_samples = metrics.counter(
+            "datacell_sys_samples_total",
+            "Telemetry samples taken by the sys_sampler transition",
+        )
+        self._m_rows = metrics.counter(
+            "datacell_sys_rows_total",
+            "Rows appended to system streams",
+            ("stream",),
+        )
+
+    # ------------------------------------------------------------------
+    # SchedulableTransition protocol
+    # ------------------------------------------------------------------
+    def enabled(self) -> bool:
+        return self.cell.clock.now() >= self._next_due
+
+    def activate(self):
+        from ..core.factory import ActivationResult
+
+        started = time.perf_counter()
+        now = float(self.cell.clock.now())
+        rows_out = 0
+        rows_out += self._sample_metrics(now)
+        rows_out += self._sample_queries(now)
+        rows_out += self._sample_baskets(now)
+        rows_out += self._drain_trace_events(now)
+        self.samples_taken += 1
+        self.rows_emitted += rows_out
+        self._m_samples.inc()
+        # one activation absorbs any number of elapsed intervals: deltas
+        # are since-last-sample, so a late sample is coarse, never wrong
+        self._next_due = now + self.config.interval
+        return ActivationResult(
+            fired=True,
+            tuples_in=0,
+            tuples_out=rows_out,
+            consumed=0,
+            elapsed=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # the four streams
+    # ------------------------------------------------------------------
+    def _skip_labels(self, key: Tuple[str, ...]) -> bool:
+        """Drop samples that measure the system streams themselves."""
+        return any(
+            is_system_name(value) or value == self.name for value in key
+        )
+
+    def _sample_metrics(self, now: float) -> int:
+        rows: List[List[Any]] = []
+        for family in self.cell.metrics.families():
+            if family.name.startswith("datacell_sys_"):
+                continue  # the sampler's own instruments: pure feedback
+            for key, child in sorted(family.children().items()):
+                if self._skip_labels(key):
+                    continue
+                labels = ",".join(
+                    f"{n}={v}" for n, v in zip(family.label_names, key)
+                )
+                if isinstance(child, Histogram):
+                    if not self.config.include_histograms:
+                        continue
+                    snap = child.snapshot()
+                    points = (
+                        ("_count", float(snap["count"])),
+                        ("_sum", float(snap["sum"])),
+                        ("_p50", float(snap["p50"])),
+                        ("_p99", float(snap["p99"])),
+                    )
+                    count_key = (family.name + "_count", labels, key)
+                    if self._prev_metrics.get(count_key) == float(
+                        snap["count"]
+                    ):
+                        continue  # no new observations: nothing changed
+                    for suffix, value in points:
+                        prev_key = (family.name + suffix, labels, key)
+                        prev = self._prev_metrics.get(prev_key, 0.0)
+                        self._prev_metrics[prev_key] = value
+                        rows.append([
+                            family.name + suffix, labels, "histogram",
+                            value, value - prev,
+                        ])
+                else:
+                    value = float(child.value)
+                    prev_key = (family.name, labels, key)
+                    prev = self._prev_metrics.get(prev_key)
+                    if prev is not None and prev == value:
+                        continue
+                    self._prev_metrics[prev_key] = value
+                    rows.append([
+                        family.name, labels, family.kind,
+                        value, value - (prev or 0.0),
+                    ])
+        return self._append(SYS_METRICS, rows, now)
+
+    def _sample_queries(self, now: float) -> int:
+        rows: List[List[Any]] = []
+        m = self.cell.metrics
+        for q in self.cell.continuous_queries():
+            delivered = int(q.results_delivered)
+            activations = int(q.activations)
+            prev_d, prev_a = self._prev_queries.get(q.name, (0, 0))
+            self._prev_queries[q.name] = (delivered, activations)
+            latency = m.histogram_snapshot(
+                "datacell_query_latency_seconds", (q.output_basket.name,)
+            ) or {}
+            rows.append([
+                q.name,
+                delivered, delivered - prev_d,
+                activations, activations - prev_a,
+                float(latency.get("p50", 0.0)),
+                float(latency.get("p99", 0.0)),
+            ])
+        return self._append(SYS_QUERIES, rows, now)
+
+    def _sample_baskets(self, now: float) -> int:
+        rows: List[List[Any]] = []
+        for basket in self.cell.catalog.baskets():
+            if is_system_name(basket.name):
+                continue
+            depth = int(basket.count)
+            total_in = int(basket.total_in)
+            total_out = int(basket.total_out)
+            shed = int(basket.total_shed)
+            prev = self._prev_baskets.get(basket.name, (0, 0, 0, 0))
+            self._prev_baskets[basket.name] = (
+                depth, total_in, total_out, shed
+            )
+            rows.append([
+                basket.name,
+                depth, depth - prev[0],
+                total_in - prev[1],
+                total_out - prev[2],
+                shed - prev[3],
+                int(basket.high_water),
+            ])
+        return self._append(SYS_BASKETS, rows, now)
+
+    def _drain_trace_events(self, now: float) -> int:
+        trace = self.cell.trace
+        total = trace.total_recorded
+        fresh_count = total - self._trace_cursor
+        self._trace_cursor = total
+        if fresh_count <= 0:
+            return 0
+        events = trace.events()
+        fresh = events[-min(fresh_count, len(events)):]
+        rows = [
+            [e.kind, e.component, json.dumps(e.detail, default=str)]
+            for e in fresh
+            if e.kind in self.config.event_kinds
+        ]
+        return self._append(SYS_EVENTS, rows, now)
+
+    def _append(self, stream: str, rows: List[List[Any]], now: float) -> int:
+        if not rows:
+            return 0
+        self.baskets[stream].insert_rows(rows, timestamp=now)
+        self._m_rows.labels(stream).inc(len(rows))
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    # direct event ingestion (alerts, application events)
+    # ------------------------------------------------------------------
+    def emit_event(self, kind: str, component: str, **detail: Any) -> None:
+        """Append one row to ``sys.events`` directly (no trace-ring hop)."""
+        self._append(
+            SYS_EVENTS,
+            [[kind, component, json.dumps(detail, default=str)]],
+            float(self.cell.clock.now()),
+        )
+
+    def close(self) -> None:
+        """Unregister the sampler and drop the system baskets."""
+        self.cell.scheduler.unregister(self.name)
+        for rule in list(self.alerts.values()):
+            rule.cancel()
+        for name in self.baskets:
+            if self.cell.catalog.has(name):
+                self.cell.catalog.drop(name)
+        self.baskets = {}
+
+
+class AlertRule:
+    """A meta-query with once-per-breach-window firing semantics.
+
+    Wraps a continuous query (normally over ``sys.*`` streams).  Every
+    non-empty delivery marks the current sampler tick as *breached*;
+    the rule fires on the first breached tick of a window and stays
+    silent while consecutive ticks keep matching.  A tick gap (the
+    condition cleared, then re-appeared) starts a new window and fires
+    again — so a sustained overload alerts once, not once per sample.
+
+    Firings go to the optional ``callback(rule, rows)``, to
+    ``sys.events`` (kind ``alert``), and to the
+    ``datacell_alerts_fired_total`` counter.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        query: Any,
+        sampler: TelemetrySampler,
+        callback: Optional[Callable[["AlertRule", List[Tuple]], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.name = name
+        self.query = query
+        self.sampler = sampler
+        self.callback = callback
+        self.firings = 0
+        self.last_rows: List[Tuple] = []
+        self.cancelled = False
+        self._last_match_tick: Optional[int] = None
+        registry = metrics if metrics is not None else sampler.cell.metrics
+        self._m_fired = registry.counter(
+            "datacell_alerts_fired_total",
+            "Alert-rule firings (once per breach window)",
+            ("alert",),
+        ).labels(name)
+        query.subscribe(self._on_delivery)
+        sampler.alerts[name] = self
+
+    def _on_delivery(self, rows: List[Tuple]) -> None:
+        if not rows or self.cancelled:
+            return
+        tick = self.sampler.samples_taken
+        new_window = (
+            self._last_match_tick is None
+            or tick - self._last_match_tick > 1
+        )
+        self._last_match_tick = tick
+        if not new_window:
+            return
+        self.firings += 1
+        self.last_rows = list(rows)
+        self._m_fired.inc()
+        self.sampler.emit_event(
+            "alert", self.name, rows=len(rows), tick=tick
+        )
+        if self.callback is not None:
+            self.callback(self, rows)
+
+    def cancel(self) -> None:
+        """Unregister the underlying meta-query."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self.sampler.alerts.pop(self.name, None)
+        self.query.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AlertRule({self.name!r}, firings={self.firings})"
+
+
+# ----------------------------------------------------------------------
+# helpers shared by the HTTP endpoint and the flight recorder
+# ----------------------------------------------------------------------
+def tail_rows(
+    basket: Any, limit: int = 50
+) -> Tuple[List[str], List[List[Any]]]:
+    """The last ``limit`` rows of a basket as plain python values.
+
+    Returns ``(column_names, rows)`` with the implicit ``dc_time``
+    column included last — JSON-serializable by construction.
+    """
+    from ..kernel.types import python_value
+
+    snapshot = basket.snapshot()
+    names = list(snapshot.names)
+    count = snapshot.count
+    start = max(0, count - int(limit))
+    rows: List[List[Any]] = []
+    for i in range(start, count):
+        rows.append([
+            python_value(bat.atom, bat.tail[i]) for bat in snapshot.bats
+        ])
+    return names, rows

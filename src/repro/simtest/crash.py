@@ -96,6 +96,10 @@ class CrashSpec:
     fsync: str = "interval"
     window: Tuple[int, int] = (4, 2)
     window_aggregate: str = "sum"
+    #: run the telemetry sampler (sys.* streams) alongside the episode —
+    #: user-visible output must stay byte-identical, since system
+    #: streams never enter the WAL or the checkpoints
+    sampling: bool = False
 
     def input_events(self) -> List[InputEvent]:
         events = []
@@ -143,7 +147,7 @@ def render_crash_repro(spec: CrashSpec) -> str:
         f"checkpoint_every={spec.checkpoint_every}, "
         f"fsync={spec.fsync!r}, window={spec.window}, "
         f"window_aggregate={spec.window_aggregate!r}, "
-        f"rows={list(spec.rows)!r})"
+        f"sampling={spec.sampling}, rows={list(spec.rows)!r})"
     )
 
 
@@ -166,9 +170,18 @@ def _build(
         if directory is not None
         else None
     )
+    from ..obs.sysstreams import SystemStreamsConfig
+
     cell = DataCell(
         clock=sim.clock, scheduler=sim, metrics=metrics,
         durability=durability,
+        # all three phases share the sampling choice so the transition
+        # set (and hence every policy's firing sequence) is identical
+        system_streams=(
+            SystemStreamsConfig(interval=2 * spec.time_step)
+            if spec.sampling
+            else None
+        ),
     )
     if spec.case == "window":
         cell.create_basket(STREAM, [("v", AtomType.INT)])
@@ -314,6 +327,7 @@ def crash_episode_spec(index: int, base_seed: int) -> CrashSpec:
         fsync=FSYNC_CYCLE[index % len(FSYNC_CYCLE)],
         window=WINDOW_GEOMETRIES[index % len(WINDOW_GEOMETRIES)],
         window_aggregate=AGGREGATES[index % len(AGGREGATES)],
+        sampling=(index % 2 == 1),
     )
 
 

@@ -141,6 +141,18 @@ class Parser:
             return str(token.value)
         raise self._error("expected identifier")
 
+    def _qualified_ident(self) -> str:
+        """A possibly schema-qualified table name (``sys.metrics``).
+
+        Dotted names are kept as one string — the catalog stores baskets
+        under their full name, so the reserved ``sys.`` schema resolves
+        like any user basket (no separate namespace object).
+        """
+        name = self._expect_ident()
+        while self._accept_punct("."):
+            name = f"{name}.{self._expect_ident()}"
+        return name
+
     def expect_end(self) -> None:
         self._accept_punct(";")
         if self._peek().type is not TokenType.EOF:
@@ -169,7 +181,7 @@ class Parser:
     def _create(self) -> Statement:
         self._expect_keyword("create")
         kind = self._expect_keyword("table", "basket", "stream")
-        name = self._expect_ident()
+        name = self._qualified_ident()
         self._expect_punct("(")
         columns: List[Tuple[str, str]] = []
         while True:
@@ -192,7 +204,7 @@ class Parser:
     def _insert(self) -> Insert:
         self._expect_keyword("insert")
         self._expect_keyword("into")
-        table = self._expect_ident()
+        table = self._qualified_ident()
         columns: Optional[List[str]] = None
         if self._accept_punct("("):
             columns = [self._expect_ident()]
@@ -215,7 +227,7 @@ class Parser:
     def _drop(self) -> Drop:
         self._expect_keyword("drop")
         self._expect_keyword("table", "basket", "stream")
-        return Drop(self._expect_ident())
+        return Drop(self._qualified_ident())
 
     # ------------------------------------------------------------------
     # SELECT
@@ -381,7 +393,7 @@ class Parser:
                 self._expect_punct(")")
                 alias = self._source_alias(required=True)
                 return SubquerySource(inner, alias)
-        name = self._expect_ident()
+        name = self._qualified_ident()
         alias = self._source_alias(required=False)
         return TableSource(name, alias)
 
@@ -565,5 +577,5 @@ class Parser:
 
 _SOFT_KEYWORDS = frozenset(
     ("timestamp", "text", "string", "double", "float", "real", "window",
-     "slide", "every", "all", "values")
+     "slide", "every", "all", "values", "basket")
 )

@@ -157,6 +157,61 @@ class TestDumpContents:
         assert {"batch", "receptor", "factory", "emitter"} <= kinds
         assert doc["trace_events"]  # scheduler ring is populated
 
+    def test_dump_embeds_system_stream_tails(self, tmp_path):
+        from repro.core.clock import LogicalClock
+        from repro.obs.sysstreams import SYS_EVENTS, SYS_METRICS
+
+        clock = LogicalClock()
+        cell = DataCell(clock=clock, system_streams=True)
+        cell.execute("create basket sensors (sensor int, temp double)")
+        cell.submit_continuous(CQ, name="q1")
+        cell.insert("sensors", [(1, 45.0)])
+        cell.run_until_quiescent()
+        clock.advance(1.0)
+        cell.run_until_quiescent()  # one sampler tick fills sys.metrics
+        cell.sys.emit_event("error", "synthetic", detail="for the dump")
+
+        path = str(tmp_path / "f.json")
+        doc = cell.dump_flight_record(path)
+        # the post-mortem must survive a JSON round trip intact
+        with open(path) as handle:
+            assert json.load(handle) == json.loads(json.dumps(doc, default=str))
+
+        tails = doc["sys_streams"]
+        assert set(tails) == {SYS_METRICS, SYS_EVENTS}
+        metrics_tail = tails[SYS_METRICS]
+        assert "metric" in metrics_tail["columns"]
+        assert metrics_tail["rows"]
+        names = {row[metrics_tail["columns"].index("metric")]
+                 for row in metrics_tail["rows"]}
+        assert any(n.startswith("datacell_") for n in names)
+        events_tail = tails[SYS_EVENTS]
+        kind_col = events_tail["columns"].index("kind")
+        assert "error" in {row[kind_col] for row in events_tail["rows"]}
+
+    def test_dump_without_system_streams_is_empty(self, tmp_path):
+        cell, _ = build_wedged_cell()
+        doc = cell.dump_flight_record(str(tmp_path / "f.json"))
+        assert doc["sys_streams"] == {}
+
+    def test_system_baskets_never_trip_the_stall_detector(self):
+        # sys.* baskets fill every tick with nobody consuming them — by
+        # design.  The monotone-rise signature must ignore them.
+        from repro.core.clock import LogicalClock
+
+        clock = LogicalClock()
+        cell = DataCell(clock=clock, system_streams=True)
+        cell.execute("create basket sensors (sensor int, temp double)")
+        cell.submit_continuous(CQ, name="q1")
+        recorder = FlightRecorder(cell, window=3)
+        for i in range(6):
+            cell.insert("sensors", [(i, 45.0)])
+            cell.run_until_quiescent()
+            clock.advance(1.0)
+            cell.run_until_quiescent()  # sys.metrics grows monotonically
+            assert recorder.sample() is None
+        assert recorder.stalls == []
+
     def test_broken_enabled_survives_snapshot(self):
         cell, query = build_wedged_cell()
 

@@ -1,0 +1,160 @@
+"""The HTTP telemetry endpoint: routing, formats, and thread hygiene."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.clock import LogicalClock
+from repro.core.engine import DataCell
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sysstreams import SystemStreamsConfig
+
+CQ = (
+    "select s.sensor, s.temp from "
+    "[select * from sensors where sensors.temp > 30.0] as s"
+)
+
+
+def build_cell():
+    clock = LogicalClock()
+    cell = DataCell(
+        clock=clock,
+        metrics=MetricsRegistry(),
+        system_streams=SystemStreamsConfig(interval=1.0),
+    )
+    cell.execute("create basket sensors (sensor int, temp double)")
+    cell.submit_continuous(CQ, name="hot")
+    cell.insert("sensors", [(1, 45.0), (2, 20.0)])
+    cell.run_until_quiescent()
+    clock.advance(1.0)
+    cell.run_until_quiescent()
+    return cell, clock
+
+
+class TestRouting:
+    """handle() is pure request→response: no sockets needed."""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.obs.httpd import TelemetryServer
+
+        cell, _ = build_cell()
+        # never start()ed: handle() works without a live socket
+        server = TelemetryServer(cell)
+        yield server
+        server.close()
+
+    def test_metrics(self, server):
+        status, ctype, body = server.handle("/metrics")
+        assert status == 200
+        assert ctype == "text/plain; version=0.0.4"
+        assert "datacell_basket_inserted_total" in body
+
+    def test_dashboard(self, server):
+        status, _, body = server.handle("/dashboard")
+        assert status == 200
+        assert "scheduler:" in body
+        assert "System streams" in body
+
+    def test_stats_json(self, server):
+        status, ctype, body = server.handle("/stats")
+        assert status == 200
+        assert ctype == "application/json"
+        doc = json.loads(body)
+        assert doc["queries"]["hot"]["delivered"] == 1
+        assert doc["sys"]["samples"] == 1
+
+    def test_healthz(self, server):
+        assert server.handle("/healthz") == (200, "text/plain", "ok\n")
+
+    def test_explain_known_query(self, server):
+        status, _, body = server.handle("/explain/hot")
+        assert status == 200
+        assert "hot" in body
+
+    def test_explain_unknown_query(self, server):
+        status, _, body = server.handle("/explain/nope")
+        assert status == 404
+
+    def test_sys_tail(self, server):
+        status, ctype, body = server.handle("/sys/metrics?limit=2")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["basket"] == "sys.metrics"
+        assert len(doc["rows"]) == 2
+        assert doc["depth"] >= 2
+        assert "metric" in doc["columns"]
+
+    def test_sys_tail_full_name(self, server):
+        status, _, body = server.handle("/sys/sys.baskets")
+        assert status == 200
+        assert json.loads(body)["basket"] == "sys.baskets"
+
+    def test_sys_tail_unknown(self, server):
+        status, _, _ = server.handle("/sys/nope")
+        assert status == 404
+
+    def test_sys_tail_bad_limit(self, server):
+        status, _, _ = server.handle("/sys/metrics?limit=abc")
+        assert status == 400
+
+    def test_unknown_path(self, server):
+        status, _, _ = server.handle("/wat")
+        assert status == 404
+
+    def test_engine_error_becomes_500(self, server):
+        server.cell.stats = None  # break the engine surface
+        status, _, body = server.handle("/stats")
+        assert status == 500
+        assert "TypeError" in body
+
+    def test_sys_disabled_is_404(self):
+        from repro.obs.httpd import TelemetryServer
+
+        cell = DataCell(metrics=MetricsRegistry())
+        server = TelemetryServer(cell)
+        try:
+            status, _, body = server.handle("/sys/metrics")
+            assert status == 404
+            assert "enabled" in body
+        finally:
+            server.close()
+
+
+class TestLiveServer:
+    def test_round_trip_over_a_socket(self):
+        cell, _ = build_cell()
+        server = cell.serve_http()
+        assert server.running
+        assert cell.serve_http() is server  # idempotent
+        try:
+            with urllib.request.urlopen(server.url + "/metrics") as resp:
+                assert resp.status == 200
+                assert "version=0.0.4" in resp.headers["Content-Type"]
+                assert b"datacell_" in resp.read()
+            with urllib.request.urlopen(
+                server.url + "/sys/queries?limit=1"
+            ) as resp:
+                doc = json.loads(resp.read())
+                assert doc["rows"][0][0] == "hot"
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(server.url + "/missing")
+            assert err.value.code == 404
+            assert server.requests_served >= 3
+        finally:
+            cell.stop()
+        assert not server.running
+        assert cell.httpd is None
+
+    def test_stop_without_server_is_fine(self):
+        cell, _ = build_cell()
+        cell.stop()
+
+    def test_close_is_idempotent(self):
+        cell, _ = build_cell()
+        server = cell.serve_http()
+        server.close()
+        server.close()
+        assert not server.running

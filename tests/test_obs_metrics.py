@@ -147,6 +147,64 @@ class TestHistogram:
         assert h.bucket_counts() == [(1, 1), (10, 2), (float("inf"), 3)]
 
 
+class TestPercentileAccuracyContract:
+    """Pins the error bounds documented on ``Histogram.percentile``.
+
+    The estimator interpolates linearly inside the containing bucket, so
+    its absolute error is bounded by that bucket's width; mass piled at a
+    bucket's lower edge biases the estimate upward but never out of the
+    bucket; and everything past the largest finite bound degrades to the
+    observed max.
+    """
+
+    @pytest.mark.parametrize("q", [50, 99])
+    def test_error_bounded_by_bucket_width_skewed(self, q):
+        # a heavy-tailed distribution stresses the sparse upper buckets,
+        # where the bound is loosest — it must still hold
+        rng = np.random.default_rng(11)
+        values = np.minimum(rng.lognormal(-4.0, 1.5, size=8_000), 50.0)
+        h = Histogram()  # default LATENCY_BUCKETS
+        h.observe_many(values)
+        exact = float(np.percentile(values, q))
+        est = h.percentile(q)
+        idx = np.searchsorted(LATENCY_BUCKETS, exact)
+        lo = LATENCY_BUCKETS[idx - 1] if idx > 0 else 0.0
+        hi = LATENCY_BUCKETS[min(idx, len(LATENCY_BUCKETS) - 1)]
+        assert abs(est - exact) <= hi - lo, f"p{q}: {est} vs {exact}"
+
+    def test_lower_edge_mass_biases_upward_within_bucket(self):
+        # 99 observations at a bucket's lower edge plus one at its upper
+        # bound: the true p50 is 1.0, but uniform-within-bucket
+        # interpolation drags the estimate toward the upper bound.  The
+        # bias must stay inside the (1.0, 10.0] bucket.
+        h = Histogram(buckets=[1.0, 10.0])
+        h.observe_many([1.0 + 1e-9] * 99 + [10.0])
+        true_p50 = 1.0
+        est = h.percentile(50)
+        assert est > true_p50 + 1.0  # visibly biased upward...
+        assert 1.0 < est <= 10.0  # ...but never leaves the bucket
+        assert est - true_p50 <= 10.0 - 1.0  # bound = bucket width
+
+    def test_upper_edge_mass_biases_downward_within_bucket(self):
+        h = Histogram(buckets=[1.0, 10.0])
+        h.observe_many([10.0 - 1e-9] * 99 + [1.5])
+        est = h.percentile(50)
+        assert est < 10.0 - 1e-9  # biased downward
+        assert 1.0 < est <= 10.0  # still inside the bucket
+
+    def test_inf_bucket_interpolates_toward_observed_max(self):
+        # the +Inf bucket has no upper bound, so the observed max stands
+        # in for it: estimates stay within [min, max] of the open tail,
+        # and the error bound widens to that whole tail
+        h = Histogram(buckets=[1.0, 10.0])
+        h.observe_many([20.0, 30.0, 40.0, 400.0])
+        for q in (1, 50, 99):
+            assert 20.0 <= h.percentile(q) <= 400.0
+        assert h.percentile(100) == 400.0
+        # the estimates are monotone in q even with no bucket structure
+        assert h.percentile(50) <= h.percentile(99)
+
+
 class TestRegistry:
     def test_labels_isolated(self):
         reg = MetricsRegistry()
@@ -281,3 +339,45 @@ class TestPrometheusText:
         reg = MetricsRegistry()
         reg.counter("never_used_total", "unused", ("l",))
         assert "never_used_total" not in reg.to_prometheus_text()
+
+    def test_help_and_type_once_per_family(self):
+        # many children must not repeat the family header: exactly one
+        # HELP and one TYPE line no matter how many label values exist
+        reg = MetricsRegistry()
+        fam = reg.counter("req_total", "requests", ("code",))
+        for code in ("200", "404", "500"):
+            fam.labels(code).inc()
+        lines = reg.to_prometheus_text().splitlines()
+        assert lines.count("# HELP req_total requests") == 1
+        assert lines.count("# TYPE req_total counter") == 1
+        samples = [ln for ln in lines if ln.startswith("req_total{")]
+        assert len(samples) == 3
+
+    def test_help_and_type_once_per_histogram_family(self):
+        # histograms fan each child out into bucket/sum/count samples,
+        # which must all share a single family header
+        reg = MetricsRegistry()
+        fam = reg.histogram(
+            "lat_seconds", "latency", ("op",), buckets=[0.1, 1.0]
+        )
+        fam.labels("read").observe(0.05)
+        fam.labels("write").observe(0.5)
+        lines = reg.to_prometheus_text().splitlines()
+        assert lines.count("# HELP lat_seconds latency") == 1
+        assert lines.count("# TYPE lat_seconds histogram") == 1
+        assert sum(ln.startswith("lat_seconds_bucket{") for ln in lines) == 6
+        assert sum(ln.startswith("lat_seconds_sum{") for ln in lines) == 2
+        assert sum(ln.startswith("lat_seconds_count{") for ln in lines) == 2
+
+    def test_headers_precede_their_samples(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "the a counter").inc()
+        reg.gauge("b", "the b gauge").set(2)
+        lines = reg.to_prometheus_text().splitlines()
+        for name in ("a_total", "b"):
+            help_i = next(
+                i for i, ln in enumerate(lines)
+                if ln.startswith(f"# HELP {name} ")
+            )
+            assert lines[help_i + 1].startswith(f"# TYPE {name} ")
+            assert lines[help_i + 2].startswith(name)

@@ -38,6 +38,10 @@ def test_both_query_shapes_and_all_fsync_policies_are_exercised():
     assert {s.fsync for s in specs} == {"interval", "off", "always"}
     assert any(s.checkpoint_every for s in specs)
     assert any(s.checkpoint_every is None for s in specs)
+    # telemetry sampling must be exercised both on and off: the sys.*
+    # streams are exempt from WAL and checkpoints, so recovery with
+    # sampling enabled is its own failure mode
+    assert {s.sampling for s in specs} == {True, False}
 
 
 def test_explicit_mid_stream_crash_with_checkpoint():
@@ -74,6 +78,28 @@ def test_window_episode_recovers_partial_window_state():
     result = check_crash_episode(spec)
     assert result.crashed
     assert result.ok, result.explain()
+
+
+def test_crash_with_telemetry_sampling_is_byte_identical():
+    """Sampling fills sys.* baskets that never touch the WAL or the
+    checkpoints: user-visible output must be unchanged by their presence
+    across a kill-and-restart."""
+    spec = CrashSpec(
+        seed=45,
+        rows=tuple((v, v % 5) for v in range(30)),
+        case="passthrough",
+        policy="priority",
+        batch_size=4,
+        crash_after=9,
+        checkpoint_every=3,
+        fsync="always",
+        sampling=True,
+    )
+    result = check_crash_episode(spec)
+    assert result.crashed
+    assert result.ok, result.explain()
+    assert result.pre_crash
+    assert result.post_recovery
 
 
 def test_planted_duplicate_delivery_bug_is_caught(monkeypatch):
