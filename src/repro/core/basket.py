@@ -167,6 +167,7 @@ class Basket(Table):
         # causality survives basket hops exactly like the origin stamp
         self._token_tracking = tracer is not None and tracer.enabled
         self._tokens = BAT(AtomType.LNG)
+        self._row_nbytes: Optional[int] = None  # row_nbytes() cache
         self._m_in = self.metrics.counter(
             "datacell_basket_inserted_total",
             "Tuples inserted into the basket",
@@ -434,6 +435,39 @@ class Basket(Table):
         """The highest sequence number ever assigned (-1 when empty)."""
         with self.lock:
             return self._next_seq - 1
+
+    def nbytes(self) -> int:
+        """Estimated bytes buffered: every schema column's BAT plus the
+        hidden sequence / arrival-stamp / trace-token BATs actually in
+        use.  O(columns), inherits the per-BAT estimate contract."""
+        with self.lock:
+            total = sum(self.bat(c.name).nbytes() for c in self.schema)
+            total += self._seq.nbytes()
+            if self._stamping:
+                total += self._mono.nbytes()
+            if self._token_tracking:
+                total += self._tokens.nbytes()
+            return total
+
+    def row_nbytes(self) -> int:
+        """Estimated bytes per buffered tuple — the ``nbytes()`` contract
+        divided out.  Column dtypes and the hidden-BAT flags are fixed at
+        construction, so the width is computed once and cached; the
+        resource accountant charges ``rows * row_nbytes()`` per batch
+        without walking columns on the hot path."""
+        width = self._row_nbytes
+        if width is None:
+            with self.lock:
+                width = sum(
+                    self.bat(c.name).element_nbytes() for c in self.schema
+                )
+                width += self._seq.element_nbytes()
+                if self._stamping:
+                    width += self._mono.element_nbytes()
+                if self._token_tracking:
+                    width += self._tokens.element_nbytes()
+            self._row_nbytes = width
+        return width
 
     def state_digest(self) -> str:
         """A stable hash of the basket's observable state.

@@ -34,6 +34,7 @@ from ..obs.dashboard import render_dashboard
 from ..obs.flightrec import FlightRecorder
 from ..obs.httpd import TelemetryServer
 from ..obs.metrics import MetricsRegistry
+from ..obs.resources import ResourceAccountant, ResourceBudget
 from ..obs.spans import SpanRecorder
 from ..obs.sysstreams import (
     AlertRule,
@@ -92,6 +93,7 @@ class DataCell:
         spans: Optional[SpanRecorder] = None,
         durability: Optional[DurabilityConfig] = None,
         system_streams: Union[bool, SystemStreamsConfig, None] = None,
+        resources: Optional[bool] = None,
     ):
         self.clock = clock or WallClock()
         self.catalog = Catalog()
@@ -107,12 +109,26 @@ class DataCell:
             if spans is not None
             else SpanRecorder(enabled=self.metrics.enabled)
         )
+        # per-query resource accounting follows the metrics switch by
+        # default; resources=False runs it dark (no hot-path hooks at
+        # all), resources=True forces it on.  The accountant object
+        # always exists so stats()/top() have one surface to ask.
+        self.resources = ResourceAccountant(
+            self,
+            enabled=(
+                self.metrics.enabled if resources is None else bool(resources)
+            ),
+            metrics=self.metrics,
+        )
         self.interpreter = MalInterpreter(
-            self.catalog, metrics=self.metrics, tracer=self.spans
+            self.catalog, metrics=self.metrics, tracer=self.spans,
+            accountant=self.resources,
         )
         self.scheduler = scheduler or Scheduler(
             metrics=self.metrics, trace=self.trace
         )
+        if self.resources.enabled:
+            self.scheduler.accountant = self.resources
         self.flight = FlightRecorder(self)
         self.scheduler.on_exception = self.flight.record_exception
         self._query_counter = 0
@@ -322,23 +338,30 @@ class DataCell:
     # continuous queries
     # ------------------------------------------------------------------
     def submit_continuous(
-        self, sql: str, name: Optional[str] = None
+        self, sql: str, name: Optional[str] = None, tenant: str = "default"
     ) -> ContinuousQuery:
         """Register a continuous SQL query; returns its handle.
 
         The query must contain a basket expression (``[select ...]``),
         which is what distinguishes continuous from one-time queries.
+        ``tenant`` labels the query's resource account so tenant-scoped
+        :class:`~repro.obs.resources.ResourceBudget` caps can aggregate
+        over it.
         """
         stmt = parse_statement(sql)
         if not isinstance(stmt, Select):
             raise SqlError("submit_continuous expects a SELECT statement")
-        return self._submit_select(stmt, sql, name)
+        return self._submit_select(stmt, sql, name, tenant)
 
     def _submit_select(
-        self, stmt: Select, sql: str, name: Optional[str] = None
+        self,
+        stmt: Select,
+        sql: str,
+        name: Optional[str] = None,
+        tenant: str = "default",
     ) -> ContinuousQuery:
         if stmt.window is not None:
-            return self._submit_window_select(stmt, name)
+            return self._submit_window_select(stmt, name, tenant)
         compiled = compile_continuous(self.catalog, stmt)
         compiled.program, _ = optimize(
             compiled.program,
@@ -365,10 +388,10 @@ class DataCell:
             name, plan, bindings, [output],
             metrics=self.metrics, tracer=self.spans,
         )
-        return self._register_query(name, sql, factory, output)
+        return self._register_query(name, sql, factory, output, tenant)
 
     def _submit_window_select(
-        self, stmt: Select, name: Optional[str]
+        self, stmt: Select, name: Optional[str], tenant: str = "default"
     ) -> ContinuousQuery:
         """Lower ``SELECT aggs FROM [select * from B] as x [GROUP BY g]
         WINDOW n [SLIDE m]`` onto the incremental window executor.
@@ -462,6 +485,7 @@ class DataCell:
             WindowSpec(mode, stmt.window, stmt.window_slide),
             group_by=group_column,
             name=name,
+            tenant=tenant,
         )
 
     def submit_plan(
@@ -471,6 +495,7 @@ class DataCell:
         inputs: Sequence[Union[Basket, InputBinding, str]],
         output_columns: Sequence[Tuple[str, AtomType]],
         priority: int = 0,
+        tenant: str = "default",
     ) -> ContinuousQuery:
         """Register a hand-built continuous plan (window plans, joins...).
 
@@ -490,7 +515,7 @@ class DataCell:
             name, plan, bindings, [output],
             priority=priority, metrics=self.metrics, tracer=self.spans,
         )
-        return self._register_query(name, None, factory, output)
+        return self._register_query(name, None, factory, output, tenant)
 
     def submit_window_aggregate(
         self,
@@ -501,6 +526,7 @@ class DataCell:
         group_by: Optional[str] = None,
         incremental: bool = True,
         name: Optional[str] = None,
+        tenant: str = "default",
     ) -> ContinuousQuery:
         """Register a sliding/tumbling window aggregate over a stream.
 
@@ -529,10 +555,17 @@ class DataCell:
             ]
         else:
             columns = plan.output_schema()
-        return self.submit_plan(name, plan, [input_basket], columns)
+        return self.submit_plan(
+            name, plan, [input_basket], columns, tenant=tenant
+        )
 
     def _register_query(
-        self, name: str, sql: Optional[str], factory: Factory, output: Basket
+        self,
+        name: str,
+        sql: Optional[str],
+        factory: Factory,
+        output: Basket,
+        tenant: str = "default",
     ) -> ContinuousQuery:
         collector = CollectingClient()
         emitter = Emitter(
@@ -548,12 +581,16 @@ class DataCell:
             name, sql, factory, output, emitter, collector, self
         )
         self._queries.append(handle)
+        if self.resources.enabled:
+            factory.accountant = self.resources
+            self.resources.bind(handle, tenant)
         return handle
 
     def remove_continuous(self, handle: ContinuousQuery) -> None:
         """Unregister a standing query (scheduler + shared readers)."""
         self.scheduler.unregister(handle.factory.name)
         self.scheduler.unregister(handle.emitter.name)
+        self.resources.unbind(handle.name)
         handle.factory.close()
         if handle in self._queries:
             self._queries.remove(handle)
@@ -824,7 +861,78 @@ class DataCell:
                 "url": self.httpd.url,
                 "requests": self.httpd.requests_served,
             }
+        if self.resources.enabled:
+            out["resources"] = self.resources.stats()
         return out
+
+    def top(self, limit: int = 10) -> str:
+        """A ``top``-style text table of queries ranked by CPU spent.
+
+        Columns: firing-boundary CPU, plan CPU, per-opcode CPU, state
+        memory, mean queue-wait, rows in/out, firings.  Returns a
+        one-line notice when resource accounting is disabled.
+        """
+        from ..bench.reporting import format_table
+
+        if not self.resources.enabled:
+            return "(resource accounting disabled: resources=False)\n"
+        headers = (
+            "query", "tenant", "cpu_ms", "plan_ms", "opcode_ms",
+            "mem_kb", "wait_ms", "rows_in", "rows_out", "firings",
+        )
+        rows = [
+            (
+                name, tenant,
+                f"{cpu:.3f}", f"{plan:.3f}", f"{opcode:.3f}",
+                str(mem_kb), f"{wait:.3f}",
+                str(rows_in), str(rows_out), str(firings),
+            )
+            for (
+                name, tenant, cpu, plan, opcode,
+                mem_kb, wait, rows_in, rows_out, firings,
+            ) in self.resources.top_rows(limit)
+        ]
+        return format_table("Top queries by CPU", headers, rows)
+
+    def set_budget(
+        self,
+        name: str,
+        query: Optional[str] = None,
+        tenant: Optional[str] = None,
+        cpu_delta: Optional[float] = None,
+        memory_bytes: Optional[int] = None,
+        queue_wait_delta: Optional[float] = None,
+        callback: Optional[Callable[[ResourceBudget, dict], None]] = None,
+    ) -> ResourceBudget:
+        """Register a per-query or per-tenant resource budget.
+
+        Caps are evaluated once per telemetry-sampler tick against the
+        sample's deltas (CPU/queue-wait) or instantaneous footprint
+        (memory); breaches fire once per breach window into
+        ``sys.events`` (kind ``budget_breach``), the
+        ``datacell_budget_breaches_total`` counter, and ``callback``.
+        Requires resource accounting; system streams must be enabled for
+        breaches to be *checked* (the sampler drives evaluation).
+        """
+        if not self.resources.enabled:
+            raise DataCellError(
+                "resource budgets need resource accounting "
+                "(build the cell with resources=True or enabled metrics)"
+            )
+        return self.resources.add_budget(
+            ResourceBudget(
+                name,
+                query=query,
+                tenant=tenant,
+                cpu_delta=cpu_delta,
+                memory_bytes=memory_bytes,
+                queue_wait_delta=queue_wait_delta,
+                callback=callback,
+            )
+        )
+
+    def remove_budget(self, name: str) -> None:
+        self.resources.remove_budget(name)
 
     def render_dashboard(self, trace_events: int = 10) -> str:
         """The engine's live state as an aligned text dashboard."""

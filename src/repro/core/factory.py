@@ -100,6 +100,17 @@ class ContinuousPlan:
     def describe(self) -> str:
         return type(self).__name__
 
+    # -- resource accounting hook --------------------------------------
+    def nbytes(self) -> int:
+        """Estimated bytes of state the plan carries across activations.
+
+        The default contract mirrors :meth:`export_state`: a stateless
+        plan holds nothing.  Stateful plans (window buffers, join
+        caches) override this with an estimate of their buffered state;
+        it is read at telemetry-sampling cadence, not on the hot path.
+        """
+        return 0
+
     # -- durability hooks ----------------------------------------------
     # A plan that carries saved state across activations (window
     # buffers, join caches) overrides these so checkpoints capture it.
@@ -206,6 +217,10 @@ class Factory:
         self.metrics = metrics if metrics is not None else default_registry()
         self.tracer = tracer
         self._tracing = tracer is not None and tracer.enabled
+        # resource-accounting hub (ResourceAccountant); set by the engine
+        # when accounting is enabled.  The factory reports plan thread-CPU,
+        # queue-wait, and rows/bytes flow to its bound account.
+        self.accountant = None
         self._m_in = self.metrics.counter(
             "datacell_factory_tuples_in_total",
             "Tuples read from input baskets",
@@ -344,6 +359,18 @@ class Factory:
         """
         while True:
             started = time.perf_counter()
+            account = (
+                self.accountant.account_for(self.name)
+                if self.accountant is not None
+                else None
+            )
+            queue_wait = 0.0
+            waited = 0
+            rows_fresh = 0
+            bytes_in = 0
+            bytes_out = 0
+            plan_cpu = 0.0
+            now_mono = time.monotonic() if account is not None else 0.0
             ordered = self._lock_order()
             for basket in ordered:
                 basket.lock.acquire()
@@ -352,6 +379,7 @@ class Factory:
                 origin_mono: Optional[float] = None
                 origin_token = 0
                 for binding in self.inputs:
+                    prev_seen = binding.last_seen_seq
                     if binding.mode is ConsumeMode.SHARED:
                         snap = binding.basket.read_new(self.name)
                     else:
@@ -366,6 +394,32 @@ class Factory:
                                 origin_mono = oldest
                         if self._tracing and not origin_token:
                             origin_token = snap.first_token()
+                        if account is not None:
+                            # queue-wait/flow charge each tuple once: on
+                            # first observation by this query (fresh seqs),
+                            # so re-snapshotted PLAN-mode leftovers do not
+                            # inflate the account.  The common SHARED-mode
+                            # case (everything in view is new) skips the
+                            # mask entirely.
+                            if prev_seen < int(snap.seqs[0]):
+                                fresh = None
+                                n_fresh = snap.count
+                            else:
+                                fresh = snap.seqs > prev_seen
+                                n_fresh = int(np.count_nonzero(fresh))
+                            if n_fresh:
+                                rows_fresh += n_fresh
+                                source = binding.basket
+                                bytes_in += n_fresh * source.row_nbytes()
+                                if source._stamping:
+                                    monos = (
+                                        snap.monos if fresh is None
+                                        else snap.monos[fresh]
+                                    )
+                                    waits = now_mono - monos
+                                    np.maximum(waits, 0.0, out=waits)
+                                    queue_wait += float(waits.sum())
+                                    waited += n_fresh
                     snapshots[binding.basket.name.lower()] = snap
                 tuples_in = sum(s.count for s in snapshots.values())
                 fspan = (
@@ -377,6 +431,9 @@ class Factory:
                     else None
                 )
                 plan_started = time.perf_counter()
+                plan_cpu_started = (
+                    time.thread_time() if account is not None else 0.0
+                )
                 if fspan is not None:
                     # publish this activation as the thread's current
                     # stage so the MAL interpreter can hang opcode spans
@@ -385,9 +442,14 @@ class Factory:
                         output = self.plan.run(snapshots)
                 else:
                     output = self.plan.run(snapshots)
+                if account is not None:
+                    plan_cpu = time.thread_time() - plan_cpu_started
                 plan_seconds = time.perf_counter() - plan_started
                 consumed = self._consume(snapshots, output)
                 tuples_out = self._emit(output, origin_mono, origin_token)
+                if account is not None:
+                    for rs in output.results.values():
+                        bytes_out += sum(b.nbytes() for b in rs.bats)
                 if fspan is not None:
                     self.tracer.end_stage(
                         fspan, handoff=True, tuples_out=tuples_out
@@ -400,6 +462,17 @@ class Factory:
             self._m_out.inc(tuples_out)
             self._m_plan.observe(plan_seconds)
             self._m_io.observe(elapsed - plan_seconds)
+            if account is not None:
+                self.accountant.record_activation(
+                    account,
+                    plan_cpu=plan_cpu,
+                    queue_wait=queue_wait,
+                    waited_tuples=waited,
+                    rows_in=rows_fresh,
+                    rows_out=tuples_out,
+                    bytes_in=bytes_in,
+                    bytes_out=bytes_out,
+                )
             yield ActivationResult(
                 fired=True,
                 tuples_in=tuples_in,

@@ -138,6 +138,10 @@ class Scheduler:
         self.on_exception: Optional[Callable[[str, BaseException], None]] = (
             None
         )
+        # resource-accounting hook (ResourceAccountant); when set, _fire
+        # brackets each bound transition's activation with thread-CPU
+        # measurement and publishes the firing's account thread-locally
+        self.accountant = None
         # total_firings survives metrics-disabled mode: it is a standalone
         # thread-safe counter, not a registry instrument.
         self._firings = Counter()
@@ -220,6 +224,11 @@ class Scheduler:
 
     def _fire(self, transition: SchedulableTransition) -> ActivationResult:
         firings, _, activation_hist = self._instruments_for(transition.name)
+        token = (
+            self.accountant.begin_firing(transition.name)
+            if self.accountant is not None
+            else None
+        )
         started = time.perf_counter()
         try:
             result = transition.activate()
@@ -235,6 +244,9 @@ class Scheduler:
                 except Exception:  # pragma: no cover - recorder must not kill
                     pass
             raise
+        finally:
+            if token is not None:
+                self.accountant.end_firing(token)
         elapsed = time.perf_counter() - started
         self._firings.inc()
         firings.inc()

@@ -169,6 +169,14 @@ class _WindowAggregateBase(ContinuousPlan):
 
         self.__dict__.update(pickle.loads(blob))
 
+    def nbytes(self) -> int:
+        """Estimate of the buffered window state (same scope as
+        :meth:`export_state`): numpy buffers, per-window summaries,
+        group lists.  Config fields contribute ~nothing."""
+        from ..obs.resources import estimate_nbytes
+
+        return estimate_nbytes(self.__dict__)
+
     # ------------------------------------------------------------------
     def output_schema(self) -> List[Tuple[str, AtomType]]:
         """Schema of the rows this plan emits (window id, group?, aggs)."""
@@ -736,6 +744,11 @@ class SlidingWindowJoinPlan(ContinuousPlan):
         import pickle
 
         self.__dict__.update(pickle.loads(blob))
+
+    def nbytes(self) -> int:
+        from ..obs.resources import estimate_nbytes
+
+        return estimate_nbytes(self.__dict__)
 
     def run(self, snapshots: Dict[str, BasketSnapshot]) -> PlanOutput:
         new_left = self._pull(snapshots.get(self.left_basket), self.left_key)

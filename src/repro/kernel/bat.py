@@ -71,6 +71,28 @@ class BAT:
         """One past the last head oid."""
         return self.hseqbase + self._count
 
+    def element_nbytes(self) -> int:
+        """Estimated bytes per tail element.
+
+        Fixed-width atoms report the numpy itemsize exactly; object
+        (string) tails use a flat per-element estimate because walking
+        every python string would be O(n).
+        """
+        if self._data.dtype == object:
+            from ..obs.resources import OBJECT_ELEMENT_BYTES
+
+            return OBJECT_ELEMENT_BYTES
+        return self._data.itemsize
+
+    def nbytes(self) -> int:
+        """Estimated tail-payload bytes, O(1) by contract.
+
+        ``count * element_nbytes()``; spare capacity beyond ``count`` is
+        not charged — it measures data held, not arena size.  See
+        docs/observability.md, "Resource accounting".
+        """
+        return self._count * self.element_nbytes()
+
     def head_oids(self) -> np.ndarray:
         """Materialize the (normally virtual) head as an oid array."""
         return np.arange(

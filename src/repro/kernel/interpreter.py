@@ -72,14 +72,24 @@ class MalInterpreter:
         catalog: Catalog,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanRecorder] = None,
+        accountant: Optional[Any] = None,
     ):
         self.catalog = catalog
         self.metrics = metrics if metrics is not None else default_registry()
         self._profiling = self.metrics.enabled
         self.tracer = tracer
         self._tracing = tracer is not None and tracer.enabled
+        # resource accounting: when enabled, per-instruction thread-CPU
+        # deltas are captured alongside wall time and folded into the
+        # currently-firing query's account (accountant.current()).
+        self.accountant = (
+            accountant
+            if accountant is not None and accountant.enabled
+            else None
+        )
         self._profile_lock = threading.Lock()
-        self._opcode_stats: Dict[str, List[float]] = {}  # [calls, seconds]
+        # [calls, wall seconds, thread-CPU seconds]
+        self._opcode_stats: Dict[str, List[float]] = {}
         self._m_calls = self.metrics.counter(
             "datacell_mal_opcode_invocations_total",
             "MAL primitive invocations, per opcode",
@@ -88,6 +98,11 @@ class MalInterpreter:
         self._m_seconds = self.metrics.counter(
             "datacell_mal_opcode_seconds_total",
             "Cumulative wall time inside each MAL primitive",
+            ("opcode",),
+        )
+        self._m_cpu_seconds = self.metrics.counter(
+            "datacell_mal_opcode_cpu_seconds_total",
+            "Cumulative thread CPU inside each MAL primitive",
             ("opcode",),
         )
 
@@ -115,17 +130,34 @@ class MalInterpreter:
         # node's row count is what its *final* instruction produced.
         node_local: Dict[Optional[int], List[float]] = {}
         stage = self.tracer.current_stage() if self._tracing else None
+        # opcode thread-CPU is only sampled when a resource account is on
+        # the thread (i.e. inside an accounted continuous-query firing);
+        # readings are chained — one clock call per instruction boundary —
+        # so interpreter bookkeeping between steps stays inside the plan's
+        # attributed total instead of leaking out of it
+        account = (
+            self.accountant.current() if self.accountant is not None else None
+        )
+        measure_cpu = account is not None
+        cpu_prev = time.thread_time() if measure_cpu else 0.0
         for ins in program.instructions:
             started = time.perf_counter()
             self._step(ctx, ins, env)
             elapsed = time.perf_counter() - started
+            if measure_cpu:
+                cpu_now = time.thread_time()
+                cpu_elapsed = cpu_now - cpu_prev
+                cpu_prev = cpu_now
+            else:
+                cpu_elapsed = 0.0
             key = f"{ins.module}.{ins.fn}"
             slot = local.get(key)
             if slot is None:
-                local[key] = [1, elapsed]
+                local[key] = [1, elapsed, cpu_elapsed]
             else:
                 slot[0] += 1
                 slot[1] += elapsed
+                slot[2] += cpu_elapsed
             node_slot = node_local.get(ins.node)
             if node_slot is None:
                 node_local[ins.node] = node_slot = [0, 0.0, 0.0]
@@ -141,6 +173,11 @@ class MalInterpreter:
                 )
         self._flush_profile(local)
         self._flush_node_stats(program, node_local)
+        if measure_cpu:
+            cpu_by_op = {k: v[2] for k, v in local.items() if v[2]}
+            self.accountant.fold_opcode_cpu(
+                account, cpu_by_op, sum(cpu_by_op.values())
+            )
         return env
 
     @staticmethod
@@ -179,23 +216,34 @@ class MalInterpreter:
 
     def _flush_profile(self, local: Dict[str, List[float]]) -> None:
         with self._profile_lock:
-            for key, (calls, seconds) in local.items():
-                slot = self._opcode_stats.setdefault(key, [0, 0.0])
+            for key, (calls, seconds, cpu) in local.items():
+                slot = self._opcode_stats.setdefault(key, [0, 0.0, 0.0])
                 slot[0] += calls
                 slot[1] += seconds
-        for key, (calls, seconds) in local.items():
+                slot[2] += cpu
+        for key, (calls, seconds, cpu) in local.items():
             self._m_calls.labels(key).inc(calls)
             self._m_seconds.labels(key).inc(seconds)
+            if cpu:
+                self._m_cpu_seconds.labels(key).inc(cpu)
 
     # ------------------------------------------------------------------
     # opcode profile surface
     # ------------------------------------------------------------------
     def profile(self) -> Dict[str, Dict[str, float]]:
-        """Per-opcode invocation counts and cumulative seconds."""
+        """Per-opcode invocation counts and cumulative seconds.
+
+        ``cpu_seconds`` stays 0.0 unless resource accounting is on —
+        thread-CPU deltas are only captured with an enabled accountant.
+        """
         with self._profile_lock:
             return {
-                key: {"calls": int(calls), "seconds": seconds}
-                for key, (calls, seconds) in sorted(
+                key: {
+                    "calls": int(calls),
+                    "seconds": seconds,
+                    "cpu_seconds": cpu,
+                }
+                for key, (calls, seconds, cpu) in sorted(
                     self._opcode_stats.items()
                 )
             }

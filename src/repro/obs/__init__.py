@@ -21,8 +21,11 @@ need measurements.  This package is the engine-wide measurement substrate:
   baskets, queryable with ordinary continuous SQL (meta-queries), plus
   :class:`AlertRule` firing semantics on top;
 * :mod:`repro.obs.httpd` — a stdlib HTTP endpoint serving ``/metrics``
-  (Prometheus), ``/dashboard``, ``/stats``, ``/explain/<query>`` and
-  ``/sys/<basket>`` from a live cell.
+  (Prometheus), ``/dashboard``, ``/stats``, ``/top``,
+  ``/explain/<query>`` and ``/sys/<basket>`` from a live cell;
+* :mod:`repro.obs.resources` — per-query resource accounting: thread-CPU
+  at firing/plan/opcode boundaries, ``nbytes()`` memory rollups,
+  queue-wait, and :class:`ResourceBudget` caps with breach events.
 
 Every core component (scheduler, factory, basket, receptor, emitter, MAL
 interpreter) accepts a ``metrics`` registry; components built without one
@@ -49,11 +52,18 @@ from .sysstreams import (
     SYS_EVENTS,
     SYS_METRICS,
     SYS_QUERIES,
+    SYS_RESOURCES,
     AlertRule,
     SystemStreamsConfig,
     TelemetrySampler,
     is_system_name,
     tail_rows,
+)
+from .resources import (
+    QueryResourceAccount,
+    ResourceAccountant,
+    ResourceBudget,
+    estimate_nbytes,
 )
 from .httpd import TelemetryServer
 
@@ -77,10 +87,15 @@ __all__ = [
     "SYS_EVENTS",
     "SYS_METRICS",
     "SYS_QUERIES",
+    "SYS_RESOURCES",
     "AlertRule",
     "SystemStreamsConfig",
     "TelemetrySampler",
     "is_system_name",
     "tail_rows",
+    "QueryResourceAccount",
+    "ResourceAccountant",
+    "ResourceBudget",
+    "estimate_nbytes",
     "TelemetryServer",
 ]

@@ -113,6 +113,47 @@ def render_dashboard(
             rows,
         ))
 
+    resources = stats.get("resources")
+    if resources:
+        engine = resources.get("engine", {})
+        accounts = resources.get("queries", {})
+        ranked = sorted(
+            accounts.items(),
+            key=lambda kv: -(kv[1].get("cpu_seconds") or 0.0),
+        )[:10]
+        rows = []
+        for name, a in ranked:
+            waited = int(a.get("queue_wait_tuples") or 0)
+            wait = a.get("queue_wait_seconds") or 0.0
+            rows.append((
+                name,
+                a.get("tenant", "default"),
+                _ms(a.get("cpu_seconds")),
+                _ms(a.get("plan_cpu_seconds")),
+                _ms(a.get("opcode_cpu_seconds")),
+                int(a.get("memory_bytes") or 0) // 1024,
+                _ms(wait / waited) if waited else 0.0,
+                int(a.get("rows_in") or 0),
+                int(a.get("rows_out") or 0),
+            ))
+        sections.append(format_table(
+            "Top queries by CPU "
+            f"(engine memory={int(engine.get('memory_bytes') or 0)} B)",
+            ["query", "tenant", "cpu ms", "plan ms", "opcode ms",
+             "mem kb", "wait ms", "rows in", "rows out"],
+            rows,
+        ))
+        budgets = resources.get("budgets", {})
+        if budgets:
+            sections.append(format_table(
+                "Resource budgets",
+                ["budget", "scope", "breaches"],
+                [
+                    (n, b.get("scope", "?"), int(b.get("breaches") or 0))
+                    for n, b in sorted(budgets.items())
+                ],
+            ))
+
     durability = stats.get("durability")
     if durability:
         ckpt_ms = _ms(durability.get("last_checkpoint_seconds"))

@@ -318,9 +318,18 @@ class FlightRecorder:
             ],
             "spans": span_dump,
             "sys_streams": self._sys_tails(),
+            "resources": self._resource_snapshot(),
             "thread_stacks": _thread_stacks(),
         }
         return doc
+
+    def _resource_snapshot(self) -> Dict[str, Any]:
+        """Per-query resource accounts at dump time (who was spending
+        what when it went wrong), empty when accounting is dark."""
+        accountant = getattr(self.cell, "resources", None)
+        if accountant is None or not accountant.enabled:
+            return {}
+        return accountant.stats()
 
     def _sys_tails(self, limit: int = 32) -> Dict[str, Any]:
         """Last rows of ``sys.metrics``/``sys.events``, when enabled.

@@ -108,6 +108,8 @@ class TelemetryServer:
                 )
             if path == "/healthz":
                 return 200, "text/plain", "ok\n"
+            if path == "/top":
+                return self._top(query)
             if path.startswith("/explain/"):
                 return self._explain(path[len("/explain/"):])
             if path.startswith("/sys/"):
@@ -122,6 +124,14 @@ class TelemetryServer:
                 return 200, "text/plain", self.cell.explain(target)
         return 404, "text/plain", f"no continuous query named {target!r}\n"
 
+    def _top(self, query: dict) -> Tuple[int, str, str]:
+        """Ranked top-queries table; ``?n=`` bounds the row count."""
+        try:
+            limit = int(query.get("n", [10])[0])
+        except (TypeError, ValueError):
+            return 400, "text/plain", "n must be an integer\n"
+        return 200, "text/plain", self.cell.top(limit) + "\n"
+
     def _sys_tail(self, name: str, query: dict) -> Tuple[int, str, str]:
         from .sysstreams import is_system_name, tail_rows
 
@@ -132,7 +142,9 @@ class TelemetryServer:
                 "(are system streams enabled?)\n"
             )
         try:
-            limit = int(query.get("limit", [self.sys_tail_limit])[0])
+            # ?n= is the short form; it wins over ?limit= when both given
+            raw = query.get("n", query.get("limit", [self.sys_tail_limit]))[0]
+            limit = int(raw)
         except (TypeError, ValueError):
             return 400, "text/plain", "limit must be an integer\n"
         basket = self.cell.basket(basket_name)
@@ -154,6 +166,9 @@ def _make_handler(server: TelemetryServer):
         protocol_version = "HTTP/1.1"
 
         def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+            # counted up-front so clients that assert on the tally right
+            # after reading a response never race the increment
+            server.requests_served += 1
             status, content_type, body = server.handle(self.path)
             payload = body.encode("utf-8")
             self.send_response(status)
@@ -161,7 +176,6 @@ def _make_handler(server: TelemetryServer):
             self.send_header("Content-Length", str(len(payload)))
             self.end_headers()
             self.wfile.write(payload)
-            server.requests_served += 1
 
         def log_message(self, format: str, *args: Any) -> None:
             pass  # telemetry must not spam the engine's stdout

@@ -20,6 +20,7 @@ produces the standard text exposition format for scraping.
 from __future__ import annotations
 
 import threading
+import warnings
 from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -316,12 +317,15 @@ class _Family:
         help: str,
         label_names: Tuple[str, ...],
         buckets: Optional[Sequence[float]] = None,
+        max_label_sets: int = 1024,
     ):
         self.name = name
         self.kind = kind
         self.help = help
         self.label_names = label_names
         self._buckets = buckets
+        self._max_label_sets = max_label_sets
+        self._overflow_warned = False
         self._lock = threading.Lock()
         self._children: Dict[LabelValues, Any] = {}
 
@@ -342,6 +346,22 @@ class _Family:
             with self._lock:
                 child = self._children.get(key)
                 if child is None:
+                    # Cardinality guard: unbounded label values (e.g. a
+                    # per-request id leaking into a label) would grow the
+                    # registry without limit.  Past the cap, new label
+                    # sets are absorbed by the no-op instrument; existing
+                    # series keep updating.
+                    if len(self._children) >= self._max_label_sets:
+                        if not self._overflow_warned:
+                            self._overflow_warned = True
+                            warnings.warn(
+                                f"metric {self.name!r}: label cardinality "
+                                f"cap ({self._max_label_sets}) reached; "
+                                "dropping new label sets",
+                                RuntimeWarning,
+                                stacklevel=2,
+                            )
+                        return NULL_INSTRUMENT
                     child = self._make()
                     self._children[key] = child
         return child
@@ -383,8 +403,9 @@ class MetricsRegistry:
     attribute call per observation and nothing else.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, max_label_sets: int = 1024):
         self.enabled = enabled
+        self.max_label_sets = max_label_sets
         self._lock = threading.Lock()
         self._families: Dict[str, _Family] = {}
 
@@ -411,7 +432,10 @@ class MetricsRegistry:
                         f"{family.kind} with labels {family.label_names}"
                     )
                 return family
-            family = _Family(name, kind, help, label_names, buckets)
+            family = _Family(
+                name, kind, help, label_names, buckets,
+                max_label_sets=self.max_label_sets,
+            )
             self._families[name] = family
             return family
 

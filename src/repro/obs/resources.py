@@ -1,0 +1,631 @@
+"""Per-query resource accounting: CPU, memory, and queue-wait attribution.
+
+The paper's premise — continuous queries are ordinary relational plans
+run by the kernel's scheduler — means every query spends CPU, basket
+memory, and queue capacity that the earlier observability layers never
+attributed to anyone: latency (emitter histograms) and liveness
+(``sys.*`` streams) say *how the engine feels*, not *who is spending
+what*.  This module closes that gap with one passive accounting seam:
+
+* **CPU** — ``time.thread_time()`` deltas captured at three nested
+  boundaries that bracket each other: the scheduler's firing boundary
+  (:meth:`ResourceAccountant.begin_firing` / ``end_firing``, covering
+  the whole activation including basket I/O), the factory's plan
+  boundary (``plan.run`` alone), and the MAL interpreter's per-opcode
+  fold.  ``opcode <= plan <= firing`` by construction, and the
+  per-bucket breakdown is *exhaustive*: firing CPU the interpreter did
+  not claim as a real opcode is folded into synthetic
+  ``engine.factory`` / ``engine.emitter`` buckets, so the accuracy
+  contract (pinned by ``tests/test_obs_resources.py``) — the breakdown
+  sums to >= 90% of the scheduler-measured thread CPU — holds even on
+  plans whose snapshot/emit I/O dwarfs the columnar kernels.
+* **Memory** — an ``nbytes()`` contract on BAT columns, baskets, and
+  continuous plans, rolled up per query (output basket + plan state +
+  an equal share of each input basket split across its reading
+  queries) and engine-wide (every basket plus every plan's state).
+  Byte counts are O(1) estimates, not allocator truth: fixed-width
+  columns report ``count * itemsize``; string columns estimate a flat
+  per-element object cost.
+* **Queue-wait** — the time a batch sat in a basket between insert and
+  the consuming factory's snapshot (monotonic arrival stamps minus
+  snapshot time), split out from execution time so backpressure is
+  distinguishable from a slow plan.
+
+The accountant is deliberately *passive*: it never changes ``enabled()``
+decisions, consumption, or scheduling, so deterministic-simulation and
+crash-recovery differentials stay byte-identical with accounting on.
+
+:class:`ResourceBudget` is the enforcement hook ROADMAP item 4 (tenant
+quotas / admission control) attaches to: a per-query or per-tenant cap
+on CPU-per-sample, memory, or queue-wait-per-sample, evaluated on each
+telemetry-sampler tick, with breaches emitted into ``sys.events`` (kind
+``budget_breach``) exactly once per breach window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ObservabilityError
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "QueryResourceAccount",
+    "ResourceAccountant",
+    "ResourceBudget",
+    "estimate_nbytes",
+    "plan_nbytes",
+]
+
+
+def plan_nbytes(plan: Any) -> int:
+    """A plan's saved-state estimate; 0 for plans without the
+    ``nbytes()`` hook (plans are duck-typed, not all subclass
+    ``ContinuousPlan``)."""
+    hook = getattr(plan, "nbytes", None)
+    return int(hook()) if callable(hook) else 0
+
+
+#: Flat per-element estimate (bytes) for object-dtype columns: one
+#: CPython pointer plus a small string object.  An estimate by contract
+#: — see docs/observability.md, "Resource accounting and budgets".
+OBJECT_ELEMENT_BYTES = 56
+
+
+def estimate_nbytes(obj: Any, _depth: int = 0) -> int:
+    """Recursive O(state) byte estimate of plain data structures.
+
+    Understands numpy arrays, BATs (anything with a callable
+    ``nbytes``), containers, scalars (flat 8 bytes — payload, not
+    python object overhead), and plain-data objects (``__dict__`` or
+    ``__slots__`` holders such as window-plan buffers and summaries).
+    Depth-capped so a cyclic or engine-shaped object cannot blow the
+    stack.
+    """
+    if _depth > 6 or obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        if obj.dtype == object:
+            return int(obj.size) * OBJECT_ELEMENT_BYTES
+        return int(obj.nbytes)
+    nbytes = getattr(obj, "nbytes", None)
+    if callable(nbytes):
+        return int(nbytes())
+    if isinstance(obj, dict):
+        return sum(
+            estimate_nbytes(k, _depth + 1) + estimate_nbytes(v, _depth + 1)
+            for k, v in obj.items()
+        )
+    if isinstance(obj, (list, tuple, set)):
+        return sum(estimate_nbytes(v, _depth + 1) for v in obj)
+    if isinstance(obj, (str, bytes)):
+        return len(obj)
+    if isinstance(obj, (int, float, complex, np.number)):
+        return 8
+    inner = getattr(obj, "__dict__", None)
+    if inner is not None:
+        return estimate_nbytes(inner, _depth + 1)
+    slots = getattr(type(obj), "__slots__", None)
+    if slots is not None:
+        return sum(
+            estimate_nbytes(getattr(obj, s, None), _depth + 1)
+            for s in slots
+        )
+    return 0
+
+
+class QueryResourceAccount:
+    """Cumulative resource usage of one continuous query.
+
+    All counters are lifetime totals; deltas are computed by readers
+    (the telemetry sampler keeps previous-sample values).  Mutated from
+    the firing thread, read from anywhere — individual fields are
+    consistent under the GIL, the set of fields is not an atomic cut
+    (same contract as :meth:`DataCell.stats`).
+    """
+
+    def __init__(self, name: str, tenant: str = "default"):
+        self.name = name
+        self.tenant = tenant
+        # bound engine objects (set by the accountant)
+        self.factory: Any = None
+        self.emitter: Any = None
+        self.output_basket: Any = None
+        self.input_baskets: List[Any] = []
+        # CPU, outermost to innermost boundary
+        self.cpu_seconds = 0.0  # scheduler firing boundary (factory+emitter)
+        self.plan_cpu_seconds = 0.0  # inside plan.run alone
+        self.opcode_cpu_seconds = 0.0  # folded per MAL opcode
+        self.opcode_cpu: Dict[str, float] = {}
+        # queue-wait: insert -> consuming snapshot, per tuple
+        self.queue_wait_seconds = 0.0
+        self.queue_wait_tuples = 0
+        # flow
+        self.firings = 0  # scheduler firings (factory + emitter)
+        self.activations = 0  # factory activations alone
+        self.rows_in = 0
+        self.rows_out = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def memory_bytes(self, input_shares: Dict[str, int]) -> int:
+        """Current state footprint: output basket + plan state + the
+        query's share of each input basket (split equally across the
+        accounts reading it, per ``input_shares``)."""
+        total = 0
+        if self.output_basket is not None:
+            total += int(self.output_basket.nbytes())
+        factory = self.factory
+        if factory is not None and factory.plan is not None:
+            total += plan_nbytes(factory.plan)
+        for basket in self.input_baskets:
+            readers = max(1, input_shares.get(basket.name.lower(), 1))
+            total += int(basket.nbytes()) // readers
+        return total
+
+    def snapshot(self, input_shares: Dict[str, int]) -> Dict[str, Any]:
+        """Plain-dict view (JSON-serializable) for stats()/sampling."""
+        return {
+            "tenant": self.tenant,
+            "cpu_seconds": self.cpu_seconds,
+            "plan_cpu_seconds": self.plan_cpu_seconds,
+            "opcode_cpu_seconds": self.opcode_cpu_seconds,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "queue_wait_tuples": self.queue_wait_tuples,
+            "memory_bytes": self.memory_bytes(input_shares),
+            "firings": self.firings,
+            "activations": self.activations,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryResourceAccount({self.name!r}, tenant={self.tenant!r}, "
+            f"cpu={self.cpu_seconds:.6f}s)"
+        )
+
+
+class ResourceBudget:
+    """A cap on one query's (or one tenant's) per-sample resource use.
+
+    Caps are checked once per telemetry-sampler tick against the deltas
+    since the previous tick (CPU and queue-wait) or the instantaneous
+    value (memory).  A breach fires exactly once per *breach window*:
+    the first breached tick alerts, consecutive breached ticks stay
+    silent, and a clean tick followed by a new breach alerts again —
+    the same once-per-window semantics as :class:`AlertRule`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        query: Optional[str] = None,
+        tenant: Optional[str] = None,
+        cpu_delta: Optional[float] = None,
+        memory_bytes: Optional[int] = None,
+        queue_wait_delta: Optional[float] = None,
+        callback: Optional[Callable[["ResourceBudget", Dict], None]] = None,
+    ):
+        if (query is None) == (tenant is None):
+            raise ObservabilityError(
+                "a budget is scoped to exactly one of query= or tenant="
+            )
+        if cpu_delta is None and memory_bytes is None \
+                and queue_wait_delta is None:
+            raise ObservabilityError(
+                "a budget needs at least one cap (cpu_delta, memory_bytes, "
+                "queue_wait_delta)"
+            )
+        self.name = name
+        self.query = query
+        self.tenant = tenant
+        self.cpu_delta = cpu_delta
+        self.memory_bytes = memory_bytes
+        self.queue_wait_delta = queue_wait_delta
+        self.callback = callback
+        self.breaches = 0
+        self.last_breach: Optional[Dict[str, Any]] = None
+        self._last_breach_tick: Optional[int] = None
+
+    def scope_key(self) -> str:
+        return f"query:{self.query}" if self.query else f"tenant:{self.tenant}"
+
+    def evaluate(self, usage: Dict[str, float]) -> List[Dict[str, Any]]:
+        """Which caps does ``usage`` exceed?  Returns one record per
+        exceeded dimension (empty list: within budget)."""
+        exceeded: List[Dict[str, Any]] = []
+        checks = (
+            ("cpu_delta", self.cpu_delta, usage.get("cpu_delta", 0.0)),
+            ("memory_bytes", self.memory_bytes,
+             usage.get("memory_bytes", 0)),
+            ("queue_wait_delta", self.queue_wait_delta,
+             usage.get("queue_wait_delta", 0.0)),
+        )
+        for dimension, cap, observed in checks:
+            if cap is not None and observed > cap:
+                exceeded.append({
+                    "dimension": dimension,
+                    "cap": cap,
+                    "observed": observed,
+                })
+        return exceeded
+
+    def record_tick(self, tick: int, breached: bool) -> bool:
+        """Advance the breach-window state machine; True = fire now."""
+        if not breached:
+            return False
+        new_window = (
+            self._last_breach_tick is None
+            or tick - self._last_breach_tick > 1
+        )
+        self._last_breach_tick = tick
+        return new_window
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResourceBudget({self.name!r}, {self.scope_key()}, "
+            f"breaches={self.breaches})"
+        )
+
+
+class ResourceAccountant:
+    """The engine's resource-attribution hub.
+
+    One per :class:`~repro.core.engine.DataCell`.  When ``enabled`` the
+    engine wires it into the scheduler (firing-boundary CPU via the
+    thread-local *current account*), the MAL interpreter (per-opcode
+    CPU fold), and every factory (plan CPU, queue-wait, rows/bytes);
+    when disabled none of those hooks are installed and the hot path
+    pays nothing.
+    """
+
+    def __init__(
+        self,
+        cell: Any,
+        enabled: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.cell = cell
+        self.enabled = enabled
+        self.metrics = metrics if metrics is not None else cell.metrics
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._accounts: Dict[str, QueryResourceAccount] = {}
+        self._by_transition: Dict[str, QueryResourceAccount] = {}
+        self.budgets: Dict[str, ResourceBudget] = {}
+        m = self.metrics
+        self._m_cpu = m.counter(
+            "datacell_query_cpu_seconds_total",
+            "Thread CPU attributed to each query at the firing boundary",
+            ("query",),
+        )
+        self._m_rows_in = m.counter(
+            "datacell_query_rows_in_total",
+            "Tuples consumed from input baskets, per query",
+            ("query",),
+        )
+        self._m_rows_out = m.counter(
+            "datacell_query_rows_out_total",
+            "Tuples produced into output baskets, per query",
+            ("query",),
+        )
+        self._m_bytes_in = m.counter(
+            "datacell_query_bytes_in_total",
+            "Estimated bytes consumed from input baskets, per query",
+            ("query",),
+        )
+        self._m_bytes_out = m.counter(
+            "datacell_query_bytes_out_total",
+            "Estimated bytes produced into output baskets, per query",
+            ("query",),
+        )
+        self._m_wait = m.histogram(
+            "datacell_query_queue_wait_seconds",
+            "Time a consumed tuple sat in its basket before the plan ran",
+            ("query",),
+        )
+        self._m_memory = m.gauge(
+            "datacell_engine_memory_bytes",
+            "Engine-wide estimated basket + plan-state footprint",
+        )
+        self._m_breaches = m.counter(
+            "datacell_budget_breaches_total",
+            "Resource-budget breach windows, per budget",
+            ("budget",),
+        )
+
+    # ------------------------------------------------------------------
+    # binding queries
+    # ------------------------------------------------------------------
+    def bind(self, handle: Any, tenant: str = "default") -> QueryResourceAccount:
+        """Open an account for one registered continuous query."""
+        account = QueryResourceAccount(handle.name, tenant)
+        account.factory = handle.factory
+        account.emitter = handle.emitter
+        account.output_basket = handle.output_basket
+        account.input_baskets = [
+            b.basket for b in handle.factory.inputs
+        ]
+        account._m_cpu = self._m_cpu.labels(handle.name)
+        account._m_rows_in = self._m_rows_in.labels(handle.name)
+        account._m_rows_out = self._m_rows_out.labels(handle.name)
+        account._m_bytes_in = self._m_bytes_in.labels(handle.name)
+        account._m_bytes_out = self._m_bytes_out.labels(handle.name)
+        account._m_wait = self._m_wait.labels(handle.name)
+        with self._lock:
+            self._accounts[handle.name] = account
+            self._by_transition[handle.factory.name] = account
+            self._by_transition[handle.emitter.name] = account
+        return account
+
+    def unbind(self, name: str) -> None:
+        with self._lock:
+            account = self._accounts.pop(name, None)
+            if account is None:
+                return
+            for key in (
+                account.factory.name if account.factory else None,
+                account.emitter.name if account.emitter else None,
+            ):
+                if key is not None and self._by_transition.get(key) is account:
+                    self._by_transition.pop(key, None)
+
+    def account(self, name: str) -> Optional[QueryResourceAccount]:
+        return self._accounts.get(name)
+
+    def account_for(self, transition_name: str) -> Optional[QueryResourceAccount]:
+        """The account a factory/emitter transition is bound to."""
+        return self._by_transition.get(transition_name)
+
+    def accounts(self) -> List[QueryResourceAccount]:
+        with self._lock:
+            return list(self._accounts.values())
+
+    # ------------------------------------------------------------------
+    # scheduler hook: firing-boundary CPU + the thread-local account
+    # ------------------------------------------------------------------
+    def begin_firing(self, transition_name: str):
+        """Called by the scheduler just before ``activate()``.
+
+        Returns an opaque token for :meth:`end_firing`, or ``None`` for
+        transitions not bound to any account (receptors, the sampler) —
+        the scheduler then skips ``end_firing`` entirely.
+        """
+        account = self._by_transition.get(transition_name)
+        if account is None:
+            return None
+        self._tls.account = account
+        return (
+            account,
+            transition_name,
+            time.thread_time(),
+            account.opcode_cpu_seconds,
+        )
+
+    def end_firing(self, token) -> None:
+        """Close the firing boundary opened by :meth:`begin_firing`.
+
+        The breakdown in ``account.opcode_cpu`` is kept *exhaustive*:
+        whatever part of the firing's CPU the MAL interpreter did not
+        claim as a real opcode (basket snapshots, consumption, emitter
+        row conversion, interpreter bookkeeping) is folded into a
+        synthetic ``engine.factory`` / ``engine.emitter`` bucket, so the
+        per-bucket sum recovers the scheduler-measured total — the >=90%
+        attribution contract pinned by ``tests/test_obs_resources.py``.
+        """
+        account, transition_name, cpu_start, opcodes_before = token
+        delta = time.thread_time() - cpu_start
+        account.cpu_seconds += delta
+        account.firings += 1
+        attributed = account.opcode_cpu_seconds - opcodes_before
+        residual = delta - attributed
+        if residual > 0:
+            factory = account.factory
+            stage = (
+                "engine.factory"
+                if factory is not None and transition_name == factory.name
+                else "engine.emitter"
+            )
+            with self._lock:
+                cpu = account.opcode_cpu
+                cpu[stage] = cpu.get(stage, 0.0) + residual
+        account._m_cpu.inc(delta)
+        self._tls.account = None
+
+    def current(self) -> Optional[QueryResourceAccount]:
+        """The account of the transition firing on *this* thread."""
+        return getattr(self._tls, "account", None)
+
+    # ------------------------------------------------------------------
+    # factory hook: plan CPU, queue-wait, flow counters
+    # ------------------------------------------------------------------
+    def record_activation(
+        self,
+        account: QueryResourceAccount,
+        plan_cpu: float,
+        queue_wait: float,
+        waited_tuples: int,
+        rows_in: int,
+        rows_out: int,
+        bytes_in: int,
+        bytes_out: int,
+    ) -> None:
+        account.plan_cpu_seconds += plan_cpu
+        account.queue_wait_seconds += queue_wait
+        account.queue_wait_tuples += waited_tuples
+        account.activations += 1
+        account.rows_in += rows_in
+        account.rows_out += rows_out
+        account.bytes_in += bytes_in
+        account.bytes_out += bytes_out
+        if rows_in:
+            account._m_rows_in.inc(rows_in)
+            account._m_bytes_in.inc(bytes_in)
+        if rows_out:
+            account._m_rows_out.inc(rows_out)
+            account._m_bytes_out.inc(bytes_out)
+        if waited_tuples:
+            account._m_wait.observe(queue_wait / waited_tuples)
+
+    # ------------------------------------------------------------------
+    # interpreter hook: per-opcode CPU fold
+    # ------------------------------------------------------------------
+    def fold_opcode_cpu(
+        self,
+        account: QueryResourceAccount,
+        local: Dict[str, float],
+        total: float,
+    ) -> None:
+        """Fold one program execution's per-opcode CPU into the account
+        (called once per ``execute``, not per instruction)."""
+        with self._lock:
+            account.opcode_cpu_seconds += total
+            cpu = account.opcode_cpu
+            for key, seconds in local.items():
+                cpu[key] = cpu.get(key, 0.0) + seconds
+
+    # ------------------------------------------------------------------
+    # memory rollup
+    # ------------------------------------------------------------------
+    def input_shares(self) -> Dict[str, int]:
+        """How many accounts read each input basket (for fair shares)."""
+        shares: Dict[str, int] = {}
+        for account in self.accounts():
+            for basket in account.input_baskets:
+                key = basket.name.lower()
+                shares[key] = shares.get(key, 0) + 1
+        return shares
+
+    def engine_memory_bytes(self) -> int:
+        """Every basket plus every bound plan's state, engine-wide."""
+        total = 0
+        for basket in self.cell.catalog.baskets():
+            total += int(basket.nbytes())
+        for account in self.accounts():
+            if account.factory is not None:
+                total += plan_nbytes(account.factory.plan)
+        return total
+
+    # ------------------------------------------------------------------
+    # budgets
+    # ------------------------------------------------------------------
+    def add_budget(self, budget: ResourceBudget) -> ResourceBudget:
+        with self._lock:
+            if budget.name in self.budgets:
+                raise ObservabilityError(
+                    f"budget {budget.name!r} already exists"
+                )
+            self.budgets[budget.name] = budget
+        return budget
+
+    def remove_budget(self, name: str) -> None:
+        with self._lock:
+            self.budgets.pop(name, None)
+
+    def usage_for_scope(
+        self, budget: ResourceBudget, deltas: Dict[str, Dict[str, float]]
+    ) -> Dict[str, float]:
+        """Aggregate per-sample deltas to the budget's scope."""
+        if budget.query is not None:
+            return deltas.get(budget.query, {})
+        usage: Dict[str, float] = {
+            "cpu_delta": 0.0, "memory_bytes": 0, "queue_wait_delta": 0.0,
+        }
+        for name, d in deltas.items():
+            account = self._accounts.get(name)
+            if account is None or account.tenant != budget.tenant:
+                continue
+            usage["cpu_delta"] += d.get("cpu_delta", 0.0)
+            usage["memory_bytes"] += d.get("memory_bytes", 0)
+            usage["queue_wait_delta"] += d.get("queue_wait_delta", 0.0)
+        return usage
+
+    def check_budgets(
+        self, deltas: Dict[str, Dict[str, float]], tick: int
+    ) -> List[Dict[str, Any]]:
+        """Evaluate every budget against this tick's deltas.
+
+        Returns one breach record per budget that *fires* this tick
+        (first breached tick of a window); consecutive breached ticks
+        return nothing for that budget.
+        """
+        fired: List[Dict[str, Any]] = []
+        for budget in list(self.budgets.values()):
+            usage = self.usage_for_scope(budget, deltas)
+            exceeded = budget.evaluate(usage)
+            if budget.record_tick(tick, bool(exceeded)):
+                budget.breaches += 1
+                record = {
+                    "budget": budget.name,
+                    "scope": budget.scope_key(),
+                    "exceeded": exceeded,
+                    "tick": tick,
+                }
+                budget.last_breach = record
+                self._m_breaches.labels(budget.name).inc()
+                if budget.callback is not None:
+                    budget.callback(budget, record)
+                fired.append(record)
+        return fired
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Structured snapshot for ``DataCell.stats()`` / the flight
+        recorder; also refreshes the engine-wide memory gauge."""
+        shares = self.input_shares()
+        queries = {
+            account.name: account.snapshot(shares)
+            for account in self.accounts()
+        }
+        engine_memory = self.engine_memory_bytes()
+        self._m_memory.set(engine_memory)
+        return {
+            "queries": queries,
+            "engine": {
+                "memory_bytes": engine_memory,
+                "accounts": len(queries),
+            },
+            "budgets": {
+                name: {
+                    "scope": b.scope_key(),
+                    "breaches": b.breaches,
+                }
+                for name, b in self.budgets.items()
+            },
+        }
+
+    def top_rows(self, limit: int = 10) -> List[tuple]:
+        """Ranked (by firing-boundary CPU) rows for ``DataCell.top()``."""
+        shares = self.input_shares()
+        ranked = sorted(
+            self.accounts(), key=lambda a: -a.cpu_seconds
+        )[: max(0, int(limit))]
+        rows = []
+        for a in ranked:
+            avg_wait = (
+                a.queue_wait_seconds / a.queue_wait_tuples
+                if a.queue_wait_tuples
+                else 0.0
+            )
+            rows.append((
+                a.name,
+                a.tenant,
+                a.cpu_seconds * 1e3,
+                a.plan_cpu_seconds * 1e3,
+                a.opcode_cpu_seconds * 1e3,
+                a.memory_bytes(shares) // 1024,
+                avg_wait * 1e3,
+                a.rows_in,
+                a.rows_out,
+                a.firings,
+            ))
+        return rows

@@ -57,6 +57,7 @@ __all__ = [
     "SYS_QUERIES",
     "SYS_BASKETS",
     "SYS_EVENTS",
+    "SYS_RESOURCES",
     "SYS_STREAM_SCHEMAS",
     "SystemStreamsConfig",
     "TelemetrySampler",
@@ -70,6 +71,7 @@ SYS_METRICS = "sys.metrics"
 SYS_QUERIES = "sys.queries"
 SYS_BASKETS = "sys.baskets"
 SYS_EVENTS = "sys.events"
+SYS_RESOURCES = "sys.resources"
 
 #: Reserved basket schemas (user columns; ``dc_time`` is implicit).
 SYS_STREAM_SCHEMAS: Dict[str, List[Tuple[str, AtomType]]] = {
@@ -102,6 +104,26 @@ SYS_STREAM_SCHEMAS: Dict[str, List[Tuple[str, AtomType]]] = {
         ("kind", AtomType.STR),
         ("component", AtomType.STR),
         ("detail", AtomType.STR),
+    ],
+    # one row per query whose resource account changed since the last
+    # sample; ``*_delta`` columns are since-last-sample (see
+    # docs/observability.md, "Resource accounting and budgets")
+    SYS_RESOURCES: [
+        ("query", AtomType.STR),
+        ("tenant", AtomType.STR),
+        ("cpu_seconds", AtomType.DBL),
+        ("cpu_delta", AtomType.DBL),
+        ("plan_cpu_seconds", AtomType.DBL),
+        ("opcode_cpu_seconds", AtomType.DBL),
+        ("memory_bytes", AtomType.LNG),
+        ("queue_wait_seconds", AtomType.DBL),
+        ("queue_wait_delta", AtomType.DBL),
+        ("rows_in", AtomType.LNG),
+        ("rows_in_delta", AtomType.LNG),
+        ("rows_out", AtomType.LNG),
+        ("rows_out_delta", AtomType.LNG),
+        ("bytes_in", AtomType.LNG),
+        ("bytes_out", AtomType.LNG),
     ],
 }
 
@@ -167,6 +189,9 @@ class TelemetrySampler:
         self._prev_metrics: Dict[Tuple[str, str, Tuple[str, ...]], float] = {}
         self._prev_queries: Dict[str, Tuple[int, int]] = {}
         self._prev_baskets: Dict[str, Tuple[int, int, int, int]] = {}
+        self._prev_resources: Dict[str, Dict[str, Any]] = {}
+        # this sample's per-account deltas, for resource-budget checks
+        self._last_resource_deltas: Dict[str, Dict[str, float]] = {}
         self._trace_cursor = cell.trace.total_recorded
         metrics: MetricsRegistry = cell.metrics
         self._m_samples = metrics.counter(
@@ -191,6 +216,9 @@ class TelemetrySampler:
         started = time.perf_counter()
         now = float(self.cell.clock.now())
         rows_out = 0
+        # resources before metrics so the engine-memory gauge the metrics
+        # sweep reads is this tick's value, not last tick's
+        rows_out += self._sample_resources(now)
         rows_out += self._sample_metrics(now)
         rows_out += self._sample_queries(now)
         rows_out += self._sample_baskets(now)
@@ -198,6 +226,7 @@ class TelemetrySampler:
         self.samples_taken += 1
         self.rows_emitted += rows_out
         self._m_samples.inc()
+        self._check_budgets()
         # one activation absorbs any number of elapsed intervals: deltas
         # are since-last-sample, so a late sample is coarse, never wrong
         self._next_due = now + self.config.interval
@@ -307,6 +336,76 @@ class TelemetrySampler:
                 int(basket.high_water),
             ])
         return self._append(SYS_BASKETS, rows, now)
+
+    def _sample_resources(self, now: float) -> int:
+        """One ``sys.resources`` row per query whose account changed.
+
+        Also refreshes the engine-wide memory gauge and stashes this
+        sample's per-account deltas for the budget checks that run at
+        the end of the activation.
+        """
+        accountant = getattr(self.cell, "resources", None)
+        self._last_resource_deltas = {}
+        if accountant is None or not accountant.enabled:
+            return 0
+        shares = accountant.input_shares()
+        rows: List[List[Any]] = []
+        for account in accountant.accounts():
+            snap = account.snapshot(shares)
+            prev = self._prev_resources.get(account.name)
+            p = prev or {}
+            deltas = {
+                "cpu_delta": snap["cpu_seconds"] - p.get("cpu_seconds", 0.0),
+                "queue_wait_delta": (
+                    snap["queue_wait_seconds"]
+                    - p.get("queue_wait_seconds", 0.0)
+                ),
+                "rows_in_delta": snap["rows_in"] - p.get("rows_in", 0),
+                "rows_out_delta": snap["rows_out"] - p.get("rows_out", 0),
+                "memory_bytes": snap["memory_bytes"],
+            }
+            self._last_resource_deltas[account.name] = deltas
+            if prev == snap:
+                continue  # idle query: no row, stream stays quiescent
+            self._prev_resources[account.name] = snap
+            rows.append([
+                account.name,
+                snap["tenant"],
+                snap["cpu_seconds"],
+                deltas["cpu_delta"],
+                snap["plan_cpu_seconds"],
+                snap["opcode_cpu_seconds"],
+                int(snap["memory_bytes"]),
+                snap["queue_wait_seconds"],
+                deltas["queue_wait_delta"],
+                int(snap["rows_in"]),
+                int(deltas["rows_in_delta"]),
+                int(snap["rows_out"]),
+                int(deltas["rows_out_delta"]),
+                int(snap["bytes_in"]),
+                int(snap["bytes_out"]),
+            ])
+        accountant._m_memory.set(accountant.engine_memory_bytes())
+        return self._append(SYS_RESOURCES, rows, now)
+
+    def _check_budgets(self) -> None:
+        """Evaluate resource budgets against this sample's deltas and
+        emit one ``budget_breach`` event per budget per breach window."""
+        accountant = getattr(self.cell, "resources", None)
+        if accountant is None or not accountant.enabled \
+                or not accountant.budgets:
+            return
+        fired = accountant.check_budgets(
+            self._last_resource_deltas, self.samples_taken
+        )
+        for record in fired:
+            self.emit_event(
+                "budget_breach",
+                record["budget"],
+                scope=record["scope"],
+                exceeded=record["exceeded"],
+                tick=record["tick"],
+            )
 
     def _drain_trace_events(self, now: float) -> int:
         trace = self.cell.trace

@@ -123,3 +123,52 @@ class TestEmptyRegistry:
             line for line in text.splitlines() if line.startswith("b ")
         )
         assert row.split()[1:] == ["0", "0", "0", "0", "0"]
+
+class TestResourcesSection:
+    def test_ranked_table_and_budgets(self):
+        stats = _stats()
+        stats["resources"] = {
+            "queries": {
+                "hot": {
+                    "tenant": "team-a", "cpu_seconds": 0.02,
+                    "plan_cpu_seconds": 0.01, "opcode_cpu_seconds": 0.009,
+                    "memory_bytes": 4096, "queue_wait_seconds": 0.5,
+                    "queue_wait_tuples": 10, "rows_in": 100, "rows_out": 40,
+                },
+                "cold": {
+                    "tenant": "default", "cpu_seconds": 0.0,
+                    "plan_cpu_seconds": 0.0, "opcode_cpu_seconds": 0.0,
+                    "memory_bytes": 0, "queue_wait_seconds": 0.0,
+                    "queue_wait_tuples": 0, "rows_in": 0, "rows_out": 0,
+                },
+            },
+            "engine": {"memory_bytes": 8192, "accounts": 2},
+            "budgets": {"cap": {"scope": "query:hot", "breaches": 3}},
+        }
+        text = render_dashboard(stats)
+        assert "Top queries by CPU (engine memory=8192 B)" in text
+        assert "== Resource budgets ==" in text
+        assert "query:hot" in text
+        # busy query ranks above the idle one
+        assert text.index("hot") < text.index("cold")
+
+    def test_section_omitted_without_accounting(self):
+        assert "Top queries by CPU" not in render_dashboard(_stats())
+
+    def test_zero_firings_account_renders(self):
+        stats = _stats()
+        stats["resources"] = {
+            "queries": {
+                "cold": {
+                    "tenant": "default", "cpu_seconds": 0.0,
+                    "plan_cpu_seconds": 0.0, "opcode_cpu_seconds": 0.0,
+                    "memory_bytes": 0, "queue_wait_seconds": 0.0,
+                    "queue_wait_tuples": 0, "rows_in": 0, "rows_out": 0,
+                },
+            },
+            "engine": {"memory_bytes": 0, "accounts": 1},
+            "budgets": {},
+        }
+        text = render_dashboard(stats)
+        assert "cold" in text
+        assert "Resource budgets" not in text

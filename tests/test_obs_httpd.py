@@ -158,3 +158,94 @@ class TestLiveServer:
         server.close()
         server.close()
         assert not server.running
+
+
+class TestRoutingResources:
+    """?n= bounding on /sys/<basket> tails and the /top endpoint."""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.obs.httpd import TelemetryServer
+
+        cell, _ = build_cell()
+        server = TelemetryServer(cell)
+        yield server
+        server.close()
+
+    def test_sys_tail_n_param(self, server):
+        status, _, body = server.handle("/sys/metrics?n=2")
+        assert status == 200
+        assert len(json.loads(body)["rows"]) == 2
+
+    def test_sys_tail_n_wins_over_limit(self, server):
+        status, _, body = server.handle("/sys/metrics?n=1&limit=3")
+        assert status == 200
+        assert len(json.loads(body)["rows"]) == 1
+
+    def test_sys_tail_bad_n(self, server):
+        status, _, _ = server.handle("/sys/metrics?n=abc")
+        assert status == 400
+
+    def test_top(self, server):
+        status, _, body = server.handle("/top")
+        assert status == 200
+        assert "Top queries by CPU" in body
+        assert "hot" in body
+
+    def test_top_bounded(self, server):
+        status, _, body = server.handle("/top?n=0")
+        assert status == 200
+        assert "hot" not in body
+
+    def test_top_bad_n(self, server):
+        status, _, _ = server.handle("/top?n=abc")
+        assert status == 400
+
+
+class TestEmptyStates:
+    """The surface stays well-formed before any queries exist or fire."""
+
+    def _server(self, cell):
+        from repro.obs.httpd import TelemetryServer
+
+        return TelemetryServer(cell)
+
+    def test_no_queries_registered(self):
+        cell = DataCell(metrics=MetricsRegistry())
+        server = self._server(cell)
+        try:
+            status, _, body = server.handle("/stats")
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["queries"] == {}
+            assert doc["resources"]["engine"]["accounts"] == 0
+            status, _, body = server.handle("/dashboard")
+            assert status == 200
+            assert "scheduler:" in body
+            status, _, body = server.handle("/top")
+            assert status == 200
+            assert "Top queries by CPU" in body
+        finally:
+            server.close()
+
+    def test_query_fired_zero_times(self):
+        cell = DataCell(metrics=MetricsRegistry())
+        cell.execute("create basket sensors (sensor int, temp double)")
+        cell.submit_continuous(CQ, name="cold")
+        server = self._server(cell)
+        try:
+            status, _, body = server.handle("/stats")
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["queries"]["cold"]["delivered"] == 0
+            resources = doc["resources"]["queries"]["cold"]
+            assert resources["firings"] == 0
+            assert resources["cpu_seconds"] == 0
+            status, _, body = server.handle("/dashboard")
+            assert status == 200
+            assert "cold" in body
+            status, _, body = server.handle("/top")
+            assert status == 200
+            assert "cold" in body  # listed with all-zero usage
+        finally:
+            server.close()

@@ -31,7 +31,7 @@ class TestStatsShape:
         cell, _ = build_cell()
         stats = cell.stats()
         assert set(stats) == {
-            "scheduler", "baskets", "queries", "mal", "spans",
+            "scheduler", "baskets", "queries", "mal", "spans", "resources",
         }
 
     def test_scheduler_section(self):

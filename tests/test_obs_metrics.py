@@ -381,3 +381,31 @@ class TestPrometheusText:
             )
             assert lines[help_i + 1].startswith(f"# TYPE {name} ")
             assert lines[help_i + 2].startswith(name)
+
+class TestCardinalityGuard:
+    def test_cap_drops_new_label_sets(self):
+        import warnings
+
+        registry = MetricsRegistry(max_label_sets=2)
+        counter = registry.counter("churn_total", "", ("who",))
+        counter.labels("a").inc()
+        counter.labels("b").inc()
+        with pytest.warns(RuntimeWarning, match="cardinality cap"):
+            dropped = counter.labels("c")
+        assert dropped is NULL_INSTRUMENT
+        dropped.inc(100)  # absorbed, never recorded
+        assert registry.value("churn_total", ("c",)) is None
+        # existing label sets keep working at the cap
+        counter.labels("a").inc()
+        assert registry.value("churn_total", ("a",)) == 2
+        # the warning is emitted once per family, not once per drop
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            counter.labels("d")
+
+    def test_default_cap_is_roomy(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ok_total", "", ("who",))
+        for i in range(100):
+            counter.labels(str(i)).inc()
+        assert len(counter.children()) == 100
