@@ -4,6 +4,7 @@ from .reporting import (
     format_table,
     print_table,
     record_bench_fig1,
+    record_bench_incremental,
     record_result,
 )
 from .runner import (
@@ -21,5 +22,6 @@ __all__ = [
     "format_table",
     "print_table",
     "record_bench_fig1",
+    "record_bench_incremental",
     "record_result",
 ]

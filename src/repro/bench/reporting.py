@@ -23,8 +23,10 @@ __all__ = [
     "print_table",
     "record_result",
     "record_bench_fig1",
+    "record_bench_incremental",
     "RESULTS_PATH",
     "BENCH_FIG1_PATH",
+    "BENCH_INCREMENTAL_PATH",
 ]
 
 RESULTS_PATH = str(
@@ -35,6 +37,12 @@ RESULTS_PATH = str(
 #: telemetry-overhead measurement, one JSON object keyed by experiment.
 BENCH_FIG1_PATH = str(
     pathlib.Path(__file__).resolve().parents[3] / "BENCH_fig1.json"
+)
+
+#: CI artifact at the repo root: incremental (Z-set) execution vs
+#: re-evaluation — the delta-window speedup series and join parity.
+BENCH_INCREMENTAL_PATH = str(
+    pathlib.Path(__file__).resolve().parents[3] / "BENCH_incremental.json"
 )
 
 
@@ -117,3 +125,13 @@ def record_bench_fig1(experiment: str, payload: Dict[str, Any]) -> None:
     (Figure-1 throughput and the sys-streams overhead gate).
     """
     record_result(experiment, payload, path=BENCH_FIG1_PATH)
+
+
+def record_bench_incremental(experiment: str, payload: Dict[str, Any]) -> None:
+    """Record one experiment into the repo-root ``BENCH_incremental.json``.
+
+    Same merge-and-rename semantics as :func:`record_result`; this file
+    carries the incremental-vs-reeval headline series and is folded into
+    ``docs/perf_trajectory.md`` by ``scripts/bench_trajectory.py``.
+    """
+    record_result(experiment, payload, path=BENCH_INCREMENTAL_PATH)

@@ -115,7 +115,17 @@ class BasketSnapshot:
 
 
 class Basket(Table):
-    """A stream buffer with consumption semantics (see module docstring)."""
+    """A stream buffer with consumption semantics (see module docstring).
+
+    ``weighted`` marks weighted-delta (Z-set) mode: the last user column
+    is ``dc_weight`` and each row is an insert (+1) or retract (−1) of
+    the rest of the row — the output representation of incremental
+    circuit plans (:mod:`repro.incremental`).  The flag is advisory
+    metadata for consumers (``fetch_integrated``, tooling); storage and
+    consumption semantics are unchanged.
+    """
+
+    weighted = False
 
     def __init__(
         self,

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..adapters.channels import Channel
+from ..errors import DataCellError
 from .basket import Basket
 from .emitter import CollectingClient, Emitter
 from .factory import Factory
@@ -20,7 +21,17 @@ Row = Tuple[Any, ...]
 
 
 class ContinuousQuery:
-    """A standing query registered with the DataCell."""
+    """A standing query registered with the DataCell.
+
+    ``execution`` records which route the engine chose for this query
+    (``"reeval"`` or ``"incremental"``); ``weighted`` is True when the
+    output rows carry a trailing ``dc_weight`` column (+1 insert / −1
+    retract) — :meth:`fetch_integrated` folds such a delta stream back
+    into the current multiset.
+    """
+
+    execution = "reeval"
+    weighted = False
 
     def __init__(
         self,
@@ -51,6 +62,27 @@ class ContinuousQuery:
     def peek(self) -> List[Row]:
         """Delivered-but-unfetched rows, without draining."""
         return list(self._collector.rows)
+
+    def fetch_integrated(self) -> List[Row]:
+        """The integrated (current) result of a weighted delta stream.
+
+        Drains newly delivered weighted rows into a persistent Z-set and
+        returns the accumulated multiset — i.e. what a one-shot query
+        over everything consumed so far would answer.  For unweighted
+        queries this raises: plain streams have no retraction column to
+        integrate.
+        """
+        if not self.weighted:
+            raise DataCellError(
+                f"query {self.name!r} does not emit weighted deltas"
+            )
+        from ..incremental.zset import ZSet
+
+        if not hasattr(self, "_integrated"):
+            self._integrated = ZSet()
+        for row in self.fetch():
+            self._integrated.add(tuple(row[:-1]), int(row[-1]))
+        return self._integrated.to_rows()
 
     def subscribe(self, client: Callable[[List[Row]], None]) -> None:
         """Register a push subscriber (called with each delivery batch)."""
@@ -93,6 +125,11 @@ class ContinuousQuery:
         """The annotated plan tree: cumulative time/calls/rows per
         operator, aggregated from the interpreter's opcode timings over
         every activation so far."""
+        render = getattr(self.factory.plan, "render_analyze", None)
+        if render is not None:
+            # incremental circuit plans render their own analysis
+            # (per-stage MAL timings + circuit state footprint)
+            return render()
         program = self.program()
         if program is None:
             return (

@@ -94,9 +94,22 @@ class DataCell:
         durability: Optional[DurabilityConfig] = None,
         system_streams: Union[bool, SystemStreamsConfig, None] = None,
         resources: Optional[bool] = None,
+        execution: str = "reeval",
     ):
         self.clock = clock or WallClock()
         self.catalog = Catalog()
+        # default execution mode for continuous queries: "reeval" runs
+        # every firing over the full MAL program; "incremental" compiles
+        # supported shapes to Z-set circuits (repro.incremental) and
+        # falls back to re-eval per query, recording the reason in
+        # ``incremental_fallbacks`` as (query name, reason) pairs.
+        if execution not in ("reeval", "incremental"):
+            raise DataCellError(
+                f"execution must be 'reeval' or 'incremental', "
+                f"got {execution!r}"
+            )
+        self.execution = execution
+        self.incremental_fallbacks: List[Tuple[str, str]] = []
         # every component this cell creates publishes into one registry
         # and one trace ring, so stats()/render_dashboard() see the whole
         # engine; pass MetricsRegistry(enabled=False) to run dark
@@ -338,7 +351,11 @@ class DataCell:
     # continuous queries
     # ------------------------------------------------------------------
     def submit_continuous(
-        self, sql: str, name: Optional[str] = None, tenant: str = "default"
+        self,
+        sql: str,
+        name: Optional[str] = None,
+        tenant: str = "default",
+        execution: Optional[str] = None,
     ) -> ContinuousQuery:
         """Register a continuous SQL query; returns its handle.
 
@@ -346,12 +363,13 @@ class DataCell:
         which is what distinguishes continuous from one-time queries.
         ``tenant`` labels the query's resource account so tenant-scoped
         :class:`~repro.obs.resources.ResourceBudget` caps can aggregate
-        over it.
+        over it.  ``execution`` overrides the engine-wide mode for this
+        query (``"reeval"`` or ``"incremental"``).
         """
         stmt = parse_statement(sql)
         if not isinstance(stmt, Select):
             raise SqlError("submit_continuous expects a SELECT statement")
-        return self._submit_select(stmt, sql, name, tenant)
+        return self._submit_select(stmt, sql, name, tenant, execution)
 
     def _submit_select(
         self,
@@ -359,15 +377,31 @@ class DataCell:
         sql: str,
         name: Optional[str] = None,
         tenant: str = "default",
+        execution: Optional[str] = None,
     ) -> ContinuousQuery:
+        execution = execution or self.execution
+        if execution not in ("reeval", "incremental"):
+            raise DataCellError(
+                f"execution must be 'reeval' or 'incremental', "
+                f"got {execution!r}"
+            )
         if stmt.window is not None:
-            return self._submit_window_select(stmt, name, tenant)
+            return self._submit_window_select(stmt, name, tenant, execution)
+        name = name or self._fresh_name("q")
+        if execution == "incremental":
+            from ..incremental.compile import IncrementalUnsupported
+
+            try:
+                return self._submit_incremental(stmt, sql, name, tenant)
+            except IncrementalUnsupported as exc:
+                # per-query fallback: the shape has no circuit — run it
+                # on the re-eval path and record why
+                self.incremental_fallbacks.append((name, str(exc)))
         compiled = compile_continuous(self.catalog, stmt)
         compiled.program, _ = optimize(
             compiled.program,
             protected=[b.consumed_var for b in compiled.basket_inputs],
         )
-        name = name or self._fresh_name("q")
         # EXPLAIN ANALYZE renders the program under the query's name
         compiled.program.name = name
         columns = []
@@ -390,8 +424,63 @@ class DataCell:
         )
         return self._register_query(name, sql, factory, output, tenant)
 
+    def _submit_incremental(
+        self, stmt: Select, sql: str, name: str, tenant: str
+    ) -> ContinuousQuery:
+        """Register a continuous query on the incremental (Z-set) path.
+
+        Raises :class:`~repro.incremental.compile.IncrementalUnsupported`
+        when the shape has no circuit; the caller falls back to re-eval.
+        """
+        from ..incremental.compile import compile_incremental
+
+        plan = compile_incremental(
+            self.catalog, stmt, self.interpreter, f"{name}_out"
+        )
+        for i, stage in enumerate(plan.stages):
+            stage.program, _ = optimize(
+                stage.program,
+                protected=[b.consumed_var for b in stage.basket_inputs],
+            )
+            stage.program.name = (
+                name if len(plan.stages) == 1 else f"{name}[{i}]"
+            )
+        columns = []
+        for col_name, atom in zip(plan.names, plan.atoms):
+            out_name = "ts" if col_name.lower() == TIME_COLUMN else col_name
+            columns.append((out_name, atom))
+        output = self.create_basket(f"{name}_out", columns)
+        output.weighted = plan.weighted
+        # Multi-input circuits (delta joins) must fire when EITHER side
+        # has fresh tuples: a required binding on each side would stall
+        # the factory whenever one stream runs ahead of the other,
+        # leaving single-sided residue unprocessed at quiescence.  An
+        # empty side simply contributes an empty delta to the stage.
+        either_side = len(plan.basket_inputs) > 1
+        bindings = [
+            InputBinding(
+                self.basket(b.basket),
+                ConsumeMode.PLAN,
+                refire_on_consumption=b.result_constrained,
+                optional=either_side,
+            )
+            for b in plan.basket_inputs
+        ]
+        factory = Factory(
+            name, plan, bindings, [output],
+            metrics=self.metrics, tracer=self.spans,
+        )
+        handle = self._register_query(name, sql, factory, output, tenant)
+        handle.execution = "incremental"
+        handle.weighted = plan.weighted
+        return handle
+
     def _submit_window_select(
-        self, stmt: Select, name: Optional[str], tenant: str = "default"
+        self,
+        stmt: Select,
+        name: Optional[str],
+        tenant: str = "default",
+        execution: Optional[str] = None,
     ) -> ContinuousQuery:
         """Lower ``SELECT aggs FROM [select * from B] as x [GROUP BY g]
         WINDOW n [SLIDE m]`` onto the incremental window executor.
@@ -486,6 +575,7 @@ class DataCell:
             group_by=group_column,
             name=name,
             tenant=tenant,
+            execution=execution,
         )
 
     def submit_plan(
@@ -527,18 +617,37 @@ class DataCell:
         incremental: bool = True,
         name: Optional[str] = None,
         tenant: str = "default",
+        execution: Optional[str] = None,
     ) -> ContinuousQuery:
         """Register a sliding/tumbling window aggregate over a stream.
 
-        ``incremental=True`` uses the basic-window route; ``False`` the
-        full re-evaluation route (paper §3.1).
+        ``execution`` selects the route: ``"incremental"`` the Z-set
+        delta plan (:class:`~repro.incremental.windows
+        .DeltaWindowAggregatePlan`, retraction on expiry), ``"basic"``
+        the basic-window route, ``"reeval"`` full re-evaluation (paper
+        §3.1).  When ``execution`` is None the legacy ``incremental``
+        flag picks basic vs re-eval — unless the engine itself runs in
+        incremental mode, which selects the delta plan.
         """
+        if execution is None:
+            if self.execution == "incremental":
+                execution = "incremental"
+            else:
+                execution = "basic" if incremental else "reeval"
+        if execution == "incremental":
+            from ..incremental.windows import DeltaWindowAggregatePlan
+
+            plan_cls = DeltaWindowAggregatePlan
+        elif execution == "basic":
+            plan_cls = IncrementalWindowAggregatePlan
+        elif execution == "reeval":
+            plan_cls = ReEvalWindowAggregatePlan
+        else:
+            raise DataCellError(
+                f"window execution must be 'incremental', 'basic' or "
+                f"'reeval', got {execution!r}"
+            )
         name = name or self._fresh_name("w")
-        plan_cls = (
-            IncrementalWindowAggregatePlan
-            if incremental
-            else ReEvalWindowAggregatePlan
-        )
         plan = plan_cls(
             input_basket,
             value_column,
@@ -555,9 +664,12 @@ class DataCell:
             ]
         else:
             columns = plan.output_schema()
-        return self.submit_plan(
+        handle = self.submit_plan(
             name, plan, [input_basket], columns, tenant=tenant
         )
+        if execution == "incremental":
+            handle.execution = "incremental"
+        return handle
 
     def _register_query(
         self,
@@ -574,6 +686,7 @@ class DataCell:
         )
         if self.durability is not None:
             emitter.wal_sink = self.durability
+            factory.wal_sink = self.durability
         emitter.subscribe(collector)
         self.scheduler.register(factory)
         self.scheduler.register(emitter)

@@ -221,6 +221,10 @@ class Factory:
         # when accounting is enabled.  The factory reports plan thread-CPU,
         # queue-wait, and rows/bytes flow to its bound account.
         self.accountant = None
+        # durability hook (DurabilityManager); set by the engine when
+        # durability is on.  Each productive activation is logged as a
+        # firing boundary so recovery replays the same schedule.
+        self.wal_sink = None
         self._m_in = self.metrics.counter(
             "datacell_factory_tuples_in_total",
             "Tuples read from input baskets",
@@ -447,6 +451,8 @@ class Factory:
                 plan_seconds = time.perf_counter() - plan_started
                 consumed = self._consume(snapshots, output)
                 tuples_out = self._emit(output, origin_mono, origin_token)
+                if self.wal_sink is not None and (tuples_in or tuples_out):
+                    self.wal_sink.log_firing(self.name)
                 if account is not None:
                     for rs in output.results.values():
                         bytes_out += sum(b.nbytes() for b in rs.bats)

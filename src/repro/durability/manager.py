@@ -149,6 +149,19 @@ class DurabilityManager:
             return
         self.wal.append_emit(emitter, high_water)
 
+    def log_firing(self, factory: str) -> None:
+        """Record one factory activation boundary.
+
+        Replay re-activates factories at these exact points so the
+        recovered output reproduces the original firing schedule —
+        required for batching-sensitive operators (e.g. the incremental
+        GROUP-BY aggregate) whose per-firing delta depends on how the
+        input was chopped, not just on its content.
+        """
+        if self.replaying:
+            return
+        self.wal.append_firing(factory)
+
     # ------------------------------------------------------------------
     # checkpoint
     # ------------------------------------------------------------------

@@ -15,14 +15,19 @@ The protocol (see ``docs/durability.md`` for the full argument):
    rotation point) through the normal ingest path
    (``Basket.insert_columns``), with WAL logging suppressed.  A torn
    record ends the replay; everything before it is kept.  ``EMIT``
-   records lift emitter high-water marks past the checkpoint.
+   records lift emitter high-water marks past the checkpoint, and
+   ``FIRING`` records re-activate the named factory at exactly the
+   boundary the original run fired it, reproducing the pre-crash firing
+   schedule tuple for tuple.
 4. The caller then **drives the scheduler** as usual.  Factories
    recompute every output row the crash destroyed — emitted row content
    and sequence numbers are a deterministic function of ingest order
-   (the invariant ``repro.simtest`` checks continuously), so the rows
-   regenerate with the same output sequence numbers they had before the
-   crash, and each emitter's high-water mark suppresses exactly those
-   already delivered: no loss, no duplicates.
+   *and* of the replayed firing schedule (batching-sensitive plans like
+   the incremental GROUP-BY aggregate emit per touched group per
+   firing; the invariant ``repro.simtest`` checks continuously), so the
+   rows regenerate with the same output sequence numbers they had
+   before the crash, and each emitter's high-water mark suppresses
+   exactly those already delivered: no loss, no duplicates.
 
 Exactly-once holds at activation boundaries (where the simulated crash
 fault strikes).  A real process dying *between* an emitter's basket
@@ -38,7 +43,13 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from ..errors import DurabilityError
 from .checkpoint import load_latest_checkpoint
-from .wal import CheckpointRecord, EmitRecord, InsertRecord, read_wal
+from .wal import (
+    CheckpointRecord,
+    EmitRecord,
+    FiringRecord,
+    InsertRecord,
+    read_wal,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .manager import DurabilityManager
@@ -54,6 +65,7 @@ class RecoveryReport:
     wal_records: int = 0
     rows_replayed: int = 0
     emit_marks: int = 0
+    firings_replayed: int = 0
     torn_tail: bool = False
     baskets_restored: int = 0
     factories_restored: int = 0
@@ -167,6 +179,28 @@ def recover(
                     emitter.high_water_seq, record.high_water
                 )
                 report.emit_marks += 1
+            elif isinstance(record, FiringRecord):
+                factory = next(
+                    (
+                        t
+                        for t in engine.scheduler.transitions()
+                        if t.name == record.factory
+                    ),
+                    None,
+                )
+                if not isinstance(factory, Factory):
+                    raise DurabilityError(
+                        f"WAL firing record names unknown factory "
+                        f"{record.factory!r}"
+                    )
+                # re-activate at the recorded boundary: the factory sees
+                # exactly the basket state the original firing saw (all
+                # earlier records are applied), so it consumes and emits
+                # the same tuples with the same output sequence numbers
+                # — the alignment the emitters' high-water suppression
+                # depends on, even for batching-sensitive plans
+                factory.activate()
+                report.firings_replayed += 1
             elif isinstance(record, CheckpointRecord):
                 continue
     finally:

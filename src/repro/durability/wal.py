@@ -67,6 +67,7 @@ __all__ = [
     "DurabilityConfig",
     "InsertRecord",
     "EmitRecord",
+    "FiringRecord",
     "CheckpointRecord",
     "WalWriter",
     "read_wal",
@@ -81,6 +82,7 @@ _U32 = struct.Struct("<I")
 KIND_INSERT = 1
 KIND_EMIT = 2
 KIND_CHECKPOINT = 3
+KIND_FIRING = 4
 
 
 class FsyncPolicy(enum.Enum):
@@ -149,13 +151,30 @@ class EmitRecord:
 
 
 @dataclass(frozen=True)
+class FiringRecord:
+    """One factory activation completed after the preceding records.
+
+    Replay re-activates the factory at exactly this point, reproducing
+    the original firing schedule.  Without it, replay would coalesce
+    every post-checkpoint insert into one giant firing — harmless for
+    operators whose output is a per-row function of the input, but
+    batching-sensitive operators (the incremental GROUP-BY aggregate
+    emits one retract/insert pair per *touched group per firing*) would
+    produce a different delta sequence, desynchronizing the emitters'
+    sequence-based exactly-once suppression.
+    """
+
+    factory: str
+
+
+@dataclass(frozen=True)
 class CheckpointRecord:
     """Marker: checkpoint ``checkpoint_id`` completed after this point."""
 
     checkpoint_id: int
 
 
-WalEntry = Union[InsertRecord, EmitRecord, CheckpointRecord]
+WalEntry = Union[InsertRecord, EmitRecord, FiringRecord, CheckpointRecord]
 
 
 # ----------------------------------------------------------------------
@@ -201,6 +220,8 @@ def decode_record(payload: bytes) -> WalEntry:
         return EmitRecord(doc["emitter"], int(doc["high_water"]))
     if kind == KIND_CHECKPOINT:
         return CheckpointRecord(int(doc["checkpoint"]))
+    if kind == KIND_FIRING:
+        return FiringRecord(doc["factory"])
     if kind != KIND_INSERT:
         raise DurabilityError(f"unknown WAL record kind {kind}")
     columns = tuple((n, AtomType(a)) for n, a in doc["cols"])
@@ -303,6 +324,11 @@ class WalWriter:
             _encode_json_record(
                 KIND_EMIT, {"emitter": emitter, "high_water": int(high_water)}
             )
+        )
+
+    def append_firing(self, factory: str) -> None:
+        self._append(
+            _encode_json_record(KIND_FIRING, {"factory": factory})
         )
 
     def append_checkpoint_marker(self, checkpoint_id: int) -> None:

@@ -1,0 +1,480 @@
+"""DBSP stream operators over Z-set deltas.
+
+A *circuit* is a composition of operators mapping streams of Z-sets to
+streams of Z-sets, driven one *step* (factory firing) at a time.  The
+primitives follow the DBSP calculus:
+
+``Lift``
+    apply a per-row function pointwise — weights pass through unchanged.
+    Linear, hence already incremental: ``lift(f)`` of a delta stream *is*
+    the delta of ``lift(f)`` of the integrated stream.
+
+``Delay`` (z⁻¹)
+    emit the previous step's input; the unit of all feedback loops.
+
+``Integrate`` (I)
+    running sum of the deltas — reconstructs the full relation.
+
+``Differentiate`` (D)
+    current minus previous integrated value; ``D ∘ I = id`` (the property
+    suite pins this as ``differentiate(integrate(s)) == s``).
+
+``IncrementalGroupAggregate``
+    the incrementalized GROUP-BY aggregate: per-group
+    :class:`RetractableAggState` is updated by the delta only, and the
+    output delta retracts the group's previous result row and inserts the
+    new one.  Cost per step is ``O(groups touched by the delta)``.
+
+``IncrementalJoin``
+    the bilinear equi-join incrementalized as
+    ``d(L ⋈ R) = dL ⋈ z(I(R)) + I(L) ⋈ dR`` where ``I(L)`` already
+    contains ``dL`` — the three classic delta-join terms folded into two
+    probes against keyed integrated state.
+
+MIN/MAX need real retraction support (removing the current extremum must
+reveal the runner-up), which plain fold-only summaries cannot do;
+:class:`RetractableAggState` keeps an exact value→weight counter plus
+lazy-deletion heaps so retraction stays amortized O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..errors import DataCellError
+from .zset import Row, ZSet
+
+__all__ = [
+    "Lift",
+    "Delay",
+    "Integrate",
+    "Differentiate",
+    "IncrementalGroupAggregate",
+    "IncrementalJoin",
+    "RetractableAggState",
+]
+
+
+class Operator:
+    """A unary stream operator: one Z-set in, one Z-set out, per step."""
+
+    def step(self, delta: ZSet) -> ZSet:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # state capture for durability (plans pickle operator __dict__s)
+    def state(self) -> Dict[str, Any]:
+        return self.__dict__
+
+    def nbytes(self) -> int:
+        from ..obs.resources import estimate_nbytes
+
+        return estimate_nbytes(self.__dict__)
+
+
+class Lift(Operator):
+    """Pointwise application of a row function; weights pass through.
+
+    ``fn(row) -> row | None | list[row]``: ``None`` filters the row out,
+    a list fans it out (projection with duplication).  Because the weight
+    is untouched, lifting commutes with integration — the linearity law
+    the property tests assert.
+    """
+
+    def __init__(self, fn: Callable[[Row], Any]) -> None:
+        self.fn = fn
+
+    def step(self, delta: ZSet) -> ZSet:
+        out = ZSet()
+        for row, weight in delta.items():
+            mapped = self.fn(row)
+            if mapped is None:
+                continue
+            if isinstance(mapped, list):
+                for m in mapped:
+                    out.add(tuple(m), weight)
+            else:
+                out.add(tuple(mapped), weight)
+        return out
+
+
+class Delay(Operator):
+    """z⁻¹: emits the previous step's input (initially the empty Z-set)."""
+
+    def __init__(self) -> None:
+        self.held = ZSet()
+
+    def step(self, delta: ZSet) -> ZSet:
+        out = self.held
+        self.held = delta.copy()
+        return out
+
+
+class Integrate(Operator):
+    """I: running sum of all deltas seen so far."""
+
+    def __init__(self) -> None:
+        self.current = ZSet()
+
+    def step(self, delta: ZSet) -> ZSet:
+        self.current.merge(delta)
+        return self.current.copy()
+
+
+class Differentiate(Operator):
+    """D: current value minus the previous one (D ∘ I = identity)."""
+
+    def __init__(self) -> None:
+        self.previous = ZSet()
+
+    def step(self, value: ZSet) -> ZSet:
+        out = value - self.previous
+        self.previous = value.copy()
+        return out
+
+
+class RetractableAggState:
+    """A weighted aggregate summary supporting retraction.
+
+    ``star`` counts tuples (COUNT(*)), ``count``/``total`` cover non-NULL
+    values.  When ``track_minmax`` is set, an exact value→weight counter
+    plus two lazy-deletion heaps answer MIN/MAX after arbitrary retraction
+    sequences; without it MIN/MAX queries raise, keeping COUNT/SUM-only
+    pipelines free of the counter overhead.
+    """
+
+    __slots__ = ("star", "count", "total", "track_minmax", "value_weights",
+                 "min_heap", "max_heap")
+
+    def __init__(self, track_minmax: bool = False) -> None:
+        self.star = 0
+        self.count = 0
+        self.total = 0.0
+        self.track_minmax = track_minmax
+        self.value_weights: Dict[float, int] = {}
+        self.min_heap: List[float] = []
+        self.max_heap: List[float] = []  # negated values
+
+    # ------------------------------------------------------------------
+    def add(self, value: Optional[float], weight: int) -> None:
+        """Fold ``weight`` copies of ``value`` (NULL allowed) in."""
+        self.star += weight
+        if value is None:
+            return
+        value = float(value)
+        self.count += weight
+        self.total += value * weight
+        if not self.track_minmax:
+            return
+        prev = self.value_weights.get(value, 0)
+        new = prev + weight
+        if new < 0:
+            raise DataCellError(
+                f"retraction below zero for value {value} "
+                f"(weight {prev} + {weight})"
+            )
+        if new == 0:
+            self.value_weights.pop(value, None)
+        else:
+            self.value_weights[value] = new
+            if prev == 0:
+                heapq.heappush(self.min_heap, value)
+                heapq.heappush(self.max_heap, -value)
+
+    def add_array(self, values, nils, weight: int = 1) -> None:
+        """Fold an array of ``weight``-weighted values (vectorized).
+
+        ``values`` is a float array, ``nils`` the aligned NULL mask.  The
+        count/sum/avg fields update in O(1) numpy reductions; min/max
+        tracking (when enabled) falls back to the per-value path since
+        the counter needs every distinct value.
+        """
+        n = int(len(values))
+        if n == 0:
+            return
+        if self.track_minmax:
+            for i in range(n):
+                self.add(None if nils[i] else float(values[i]), weight)
+            return
+        valid = values[~nils]
+        self.star += n * weight
+        self.count += int(len(valid)) * weight
+        if len(valid):
+            self.total += float(valid.sum()) * weight
+
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return self.star == 0 and self.count == 0 and not self.value_weights
+
+    def _minimum(self) -> Optional[float]:
+        while self.min_heap:
+            value = self.min_heap[0]
+            if self.value_weights.get(value, 0) > 0:
+                return value
+            heapq.heappop(self.min_heap)  # lazily drop retracted entry
+        return None
+
+    def _maximum(self) -> Optional[float]:
+        while self.max_heap:
+            value = -self.max_heap[0]
+            if self.value_weights.get(value, 0) > 0:
+                return value
+            heapq.heappop(self.max_heap)
+        return None
+
+    def result(self, name: str) -> Any:
+        """Answer aggregate ``name`` (SQL NULL rules, as AggregateState)."""
+        if name == "count_star":
+            return self.star
+        if name == "count":
+            return self.count
+        if self.count == 0:
+            return None
+        if name == "sum":
+            return self.total
+        if name == "avg":
+            return self.total / self.count
+        if name in ("min", "max"):
+            if not self.track_minmax:
+                raise DataCellError(
+                    "aggregate state built without min/max tracking"
+                )
+            return self._minimum() if name == "min" else self._maximum()
+        raise DataCellError(f"unknown aggregate {name!r}")
+
+    # ------------------------------------------------------------------
+    # durability: heaps may hold stale (fully retracted) values; compact
+    # on export so the blob is a pure function of the live multiset and
+    # recovered state digests stay byte-identical across crash points.
+    def export_state(self) -> Dict[str, Any]:
+        return {
+            "star": self.star,
+            "count": self.count,
+            "total": self.total,
+            "track_minmax": self.track_minmax,
+            "value_weights": dict(sorted(self.value_weights.items())),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "RetractableAggState":
+        out = cls(track_minmax=state["track_minmax"])
+        out.star = state["star"]
+        out.count = state["count"]
+        out.total = state["total"]
+        out.value_weights = dict(state["value_weights"])
+        out.min_heap = list(out.value_weights)
+        heapq.heapify(out.min_heap)
+        out.max_heap = [-v for v in out.value_weights]
+        heapq.heapify(out.max_heap)
+        return out
+
+    def nbytes(self) -> int:
+        per_entry = 96
+        return 200 + per_entry * len(self.value_weights) + 8 * (
+            len(self.min_heap) + len(self.max_heap)
+        )
+
+
+class IncrementalGroupAggregate(Operator):
+    """Incremental GROUP-BY aggregate over a keyed delta stream.
+
+    Input rows are ``(*group_keys, value)`` (value may be ``None`` for
+    NULL); the key is empty for the scalar (ungrouped) case — the
+    caller's lift stage shapes rows accordingly.  The output delta
+    retracts the group's previous result row (weight −1) and inserts the
+    new one (+1); a group whose state empties only retracts.  Groups are
+    visited in the order the delta first touches them, retraction before
+    insertion, so output row order is deterministic.
+
+    Output rows: ``(*group_key, *aggregate_values)``.
+    """
+
+    def __init__(
+        self,
+        aggregates: List[str],
+        grouped: bool = True,
+    ) -> None:
+        bad = [a for a in aggregates if a not in
+               ("sum", "count", "count_star", "avg", "min", "max")]
+        if bad:
+            raise DataCellError(f"unknown aggregates: {bad}")
+        if not aggregates:
+            raise DataCellError("need at least one aggregate")
+        self.aggregates = list(aggregates)
+        self.grouped = grouped
+        self.track_minmax = bool({"min", "max"} & set(aggregates))
+        self.groups: Dict[Hashable, RetractableAggState] = {}
+
+    def _current_row(self, key: Hashable) -> Optional[Row]:
+        state = self.groups.get(key)
+        if state is None or state.star == 0:
+            return None
+        prefix: Tuple[Any, ...] = key if self.grouped else ()
+        values = []
+        for name in self.aggregates:
+            value = state.result(name)
+            if name in ("count", "count_star"):
+                values.append(int(value))
+            else:
+                values.append(None if value is None else float(value))
+        return (*prefix, *values)
+
+    def step(self, delta: ZSet) -> ZSet:
+        # snapshot the pre-delta result row of every touched group, in
+        # first-touch order, then fold the whole delta before emitting
+        touched: List[Hashable] = []
+        before: Dict[Hashable, Optional[Row]] = {}
+        for row, weight in delta.items():
+            if self.grouped:
+                key, value = row[:-1], row[-1]
+            else:
+                key, value = (), row[-1]
+            if key not in before:
+                before[key] = self._current_row(key)
+                touched.append(key)
+            state = self.groups.get(key)
+            if state is None:
+                state = RetractableAggState(track_minmax=self.track_minmax)
+                self.groups[key] = state
+            state.add(value, weight)
+        out = ZSet()
+        for key in touched:
+            after = self._current_row(key)
+            if before[key] == after:
+                continue
+            if before[key] is not None:
+                out.add(before[key], -1)
+            if after is not None:
+                out.add(after, +1)
+            state = self.groups.get(key)
+            if state is not None and state.is_empty():
+                del self.groups[key]
+        return out
+
+    # -- durability -----------------------------------------------------
+    def export_state(self) -> Dict[str, Any]:
+        return {
+            "aggregates": self.aggregates,
+            "grouped": self.grouped,
+            "groups": {
+                key: state.export_state()
+                for key, state in sorted(
+                    self.groups.items(), key=lambda kv: repr(kv[0])
+                )
+            },
+        }
+
+    def import_state(self, state: Dict[str, Any]) -> None:
+        self.aggregates = list(state["aggregates"])
+        self.grouped = state["grouped"]
+        self.track_minmax = bool({"min", "max"} & set(self.aggregates))
+        self.groups = {
+            key: RetractableAggState.from_state(blob)
+            for key, blob in state["groups"].items()
+        }
+
+    def nbytes(self) -> int:
+        return 200 + sum(
+            64 + state.nbytes() for state in self.groups.values()
+        )
+
+
+class IncrementalJoin(Operator):
+    """Incremental equi-join: delta-probe against integrated state.
+
+    Input rows carry their join key at ``key_index``; output rows are
+    ``(*left_row, *right_row_without_key)`` — the key appears once, from
+    the left side, matching the re-eval join's projection.
+
+    Per step: ``d(L ⋈ R) = dL ⋈ I_old(R) + I_new(L) ⋈ dR`` where
+    ``I_new(L)`` already includes ``dL``, so the ``dL ⋈ dR`` cross term
+    is counted exactly once.  Output weights multiply (bilinearity).
+    """
+
+    def __init__(self, left_key: int, right_key: int) -> None:
+        self.left_key = left_key
+        self.right_key = right_key
+        # key -> ZSet of rows with that key (integrated state per side)
+        self.left_state: Dict[Hashable, ZSet] = {}
+        self.right_state: Dict[Hashable, ZSet] = {}
+
+    def _fold(
+        self, state: Dict[Hashable, ZSet], key_index: int, delta: ZSet
+    ) -> None:
+        for row, weight in delta.items():
+            key = row[key_index]
+            bucket = state.get(key)
+            if bucket is None:
+                bucket = state[key] = ZSet()
+            bucket.add(row, weight)
+            if not bucket:
+                del state[key]
+
+    def _pair(self, left_row: Row, right_row: Row) -> Row:
+        right = (
+            right_row[: self.right_key] + right_row[self.right_key + 1 :]
+        )
+        return (*left_row, *right)
+
+    def step_both(self, dleft: ZSet, dright: ZSet) -> ZSet:
+        """Advance one step with deltas for both inputs."""
+        out = ZSet()
+        # dL ⋈ I_old(R): probe the right state before folding dR in
+        for lrow, lweight in dleft.items():
+            key = lrow[self.left_key]
+            if key is None:
+                continue
+            bucket = self.right_state.get(key)
+            if bucket:
+                for rrow, rweight in bucket.items():
+                    out.add(self._pair(lrow, rrow), lweight * rweight)
+        self._fold(self.left_state, self.left_key, dleft)
+        # I_new(L) ⋈ dR: left state now includes dL → dL⋈dR counted here
+        for rrow, rweight in dright.items():
+            key = rrow[self.right_key]
+            if key is None:
+                continue
+            bucket = self.left_state.get(key)
+            if bucket:
+                for lrow, lweight in bucket.items():
+                    out.add(self._pair(lrow, rrow), lweight * rweight)
+        self._fold(self.right_state, self.right_key, dright)
+        return out
+
+    # -- durability -----------------------------------------------------
+    def export_state(self) -> Dict[str, Any]:
+        def side(state: Dict[Hashable, ZSet]) -> Dict[Hashable, List]:
+            return {
+                key: sorted(bucket.items(), key=repr)
+                for key, bucket in sorted(state.items(), key=lambda kv: repr(kv[0]))
+            }
+
+        return {
+            "left_key": self.left_key,
+            "right_key": self.right_key,
+            "left_state": side(self.left_state),
+            "right_state": side(self.right_state),
+        }
+
+    def import_state(self, state: Dict[str, Any]) -> None:
+        self.left_key = state["left_key"]
+        self.right_key = state["right_key"]
+
+        def side(blob: Dict[Hashable, List]) -> Dict[Hashable, ZSet]:
+            out: Dict[Hashable, ZSet] = {}
+            for key, entries in blob.items():
+                zs = ZSet()
+                for row, weight in entries:
+                    zs.add(tuple(row), weight)
+                out[key] = zs
+            return out
+
+        self.left_state = side(state["left_state"])
+        self.right_state = side(state["right_state"])
+
+    def nbytes(self) -> int:
+        return 200 + sum(
+            64 + bucket.nbytes()
+            for state in (self.left_state, self.right_state)
+            for bucket in state.values()
+        )

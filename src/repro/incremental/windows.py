@@ -1,0 +1,474 @@
+"""Window operators as delta producers (retraction on expiry).
+
+The re-evaluation route (:class:`~repro.core.windows.ReEvalWindowAggregatePlan`)
+rescans every window extent from scratch — O(|window|) per slide.  The
+plans here keep the *current* window's aggregate as retractable state:
+when the window slides, the tuples leaving it are **retracted** (folded
+in with weight −1) and the tuples entering it inserted (+1), so the cost
+per slide is O(|delta| + |slide|) regardless of window size.
+
+Output rows are identical to the re-eval route — ``(window_id, [group],
+*aggregates)`` at window close — because the Z-set machinery is internal:
+windows are where deltas are *consumed*, turning a change stream back
+into per-window answers.  That is what lets the differential oracle
+compare this route against re-eval row for row.
+
+Window geometry matches :class:`~repro.core.windows.WindowSpec` exactly:
+count window ``k`` covers positions ``[k·slide, k·slide+size)``; time
+window ``k`` covers the same half-open interval in seconds, complete
+when the watermark passes its end.
+
+Two internal representations:
+
+* **vectorized** (ungrouped COUNT-mode without MIN/MAX): raw values are
+  buffered as numpy chunks and folded/retracted by slice sums — both
+  directions are O(chunk) numpy reductions;
+* **scalar** (grouped, TIME-mode, or MIN/MAX): a time/arrival-ordered
+  ``live`` list of ``(key, value, group)`` triples feeds per-group
+  :class:`~repro.incremental.circuit.RetractableAggState`, whose
+  value-counter + lazy heaps make MIN/MAX retraction exact.
+
+:class:`DeltaWindowJoinPlan` runs the sliding equi-join through
+:class:`~repro.incremental.circuit.IncrementalJoin`: new tuples are +1
+deltas probed against the other side's integrated Z-set, expiry is a −1
+fold into that state, and only positive pairs within the time window are
+emitted — the same append-only output as
+:class:`~repro.core.windows.SlidingWindowJoinPlan`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DataCellError
+from ..kernel.bat import bat_from_values
+from ..kernel.mal import ResultSet
+from ..kernel.types import AtomType
+from .circuit import IncrementalJoin, RetractableAggState
+from .zset import ZSet
+
+from ..core.basket import BasketSnapshot, TIME_COLUMN
+from ..core.factory import ContinuousPlan, PlanOutput
+from ..core.windows import WindowMode, WindowSpec, _WindowAggregateBase
+
+__all__ = ["DeltaWindowAggregatePlan", "DeltaWindowJoinPlan"]
+
+
+class DeltaWindowAggregatePlan(_WindowAggregateBase):
+    """Route (c): Z-set delta evaluation with retraction on expiry.
+
+    Counters: ``values_processed`` counts fold operations — each tuple is
+    folded in once (+1) and retracted once (−1) over its lifetime, so the
+    total grows as ``2·|stream|``, independent of ``size/slide``.
+    ``retractions_done`` counts the −1 folds alone.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.retractions_done = 0
+        self._position = 0  # tuples ingested (COUNT-mode stream position)
+        self._watermark: Optional[float] = None
+        # scalar representation ----------------------------------------
+        track = bool({"min", "max"} & set(self.aggregates))
+        self._track_minmax = track
+        self._vectorized = (
+            self.spec.mode is WindowMode.COUNT
+            and not self.group_column
+            and not track
+        )
+        # per-group retractable state of the *current* window
+        self._state: Dict[Optional[str], RetractableAggState] = {}
+        # live: tuples currently folded into state, ordered by stream
+        # position (COUNT) / timestamp (TIME):
+        # (key, arrival-seq, value-or-None, group).  The arrival seq
+        # reproduces re-eval's group emission order (first occurrence in
+        # arrival order) even when timestamps arrive out of order.
+        self._live: List[
+            Tuple[float, int, Optional[float], Optional[str]]
+        ] = []
+        # pending: tuples at/after the current window's end
+        self._pending: List[
+            Tuple[float, int, Optional[float], Optional[str]]
+        ] = []
+        self._arrivals = 0
+        # vectorized representation ------------------------------------
+        self._vals: List[np.ndarray] = []
+        self._nils: List[np.ndarray] = []
+        self._offset = 0  # stream position of the buffer head
+        self._folded_until = 0  # stream position folded into state
+        if self._vectorized:
+            self._state[None] = RetractableAggState()
+
+    # ------------------------------------------------------------------
+    def run(self, snapshots: Dict[str, BasketSnapshot]) -> PlanOutput:
+        snap = snapshots[self.input_basket]
+        if snap.count:
+            values, nils, times, groups = self._extract(snap)
+            if len(times):
+                wm = float(times.max())
+                if self._watermark is None or wm > self._watermark:
+                    self._watermark = wm
+            if self._vectorized:
+                self._ingest_vectorized(values, nils)
+            else:
+                self._ingest_scalar(values, nils, times, groups)
+        rows: List[Tuple[Any, ...]] = []
+        while True:
+            batch = self._try_emit()
+            if batch is None:
+                break
+            rows.extend(batch)
+        return self._result_from_rows(rows)
+
+    # -- vectorized path (ungrouped COUNT, no MIN/MAX) ------------------
+    def _buffered_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        values = (
+            np.concatenate(self._vals)
+            if len(self._vals) > 1
+            else (self._vals[0] if self._vals else np.empty(0))
+        )
+        nils = (
+            np.concatenate(self._nils)
+            if len(self._nils) > 1
+            else (self._nils[0] if self._nils else np.empty(0, dtype=bool))
+        )
+        if len(self._vals) > 1:
+            self._vals = [values]
+            self._nils = [nils]
+        return values, nils
+
+    def _ingest_vectorized(self, values: np.ndarray, nils: np.ndarray) -> None:
+        self._vals.append(values)
+        self._nils.append(nils)
+        self._position += len(values)
+        self._fold_eligible()
+
+    def _fold_eligible(self) -> None:
+        """Fold buffered positions [folded_until, min(end(k), position))."""
+        end = int(self.spec.window_end(self.next_window))
+        upto = min(end, self._position)
+        if upto <= self._folded_until:
+            return
+        values, nils = self._buffered_arrays()
+        lo = self._folded_until - self._offset
+        hi = upto - self._offset
+        self._state[None].add_array(values[lo:hi], nils[lo:hi], +1)
+        self.values_processed += hi - lo
+        self._folded_until = upto
+
+    def _retract_vectorized(self) -> None:
+        """Retract positions [start(k), start(k+1)) after emitting k.
+
+        Called from ``_advance`` with ``next_window`` already bumped to
+        k+1, so the slice leaving the window is [start(k), start(k+1)) =
+        [start(next-1), start(next)).
+        """
+        start = int(self.spec.window_start(self.next_window - 1))
+        nxt = int(self.spec.window_start(self.next_window))
+        values, nils = self._buffered_arrays()
+        lo = start - self._offset
+        hi = nxt - self._offset
+        self._state[None].add_array(values[lo:hi], nils[lo:hi], -1)
+        self.values_processed += hi - lo
+        self.retractions_done += hi - lo
+        # amortized buffer trim below the next window's start
+        if hi >= 1024 or hi >= len(values):
+            self._vals = [values[hi:]]
+            self._nils = [nils[hi:]]
+            self._offset = nxt
+
+    # -- scalar path ----------------------------------------------------
+    def _ingest_scalar(self, values, nils, times, groups) -> None:
+        count_mode = self.spec.mode is WindowMode.COUNT
+        start = self.spec.window_start(self.next_window)
+        end = self.spec.window_end(self.next_window)
+        for i in range(len(values)):
+            value = None if nils[i] else float(values[i])
+            group = groups[i] if groups is not None else None
+            arrival = self._arrivals
+            self._arrivals += 1
+            if count_mode:
+                key: float = float(self._position)
+                self._position += 1
+            else:
+                key = float(times[i])
+                if key < start:
+                    # late beyond the open window: no current-or-future
+                    # window contains it (matches re-eval's mask+expire)
+                    continue
+            if key < end:
+                self._fold(key, value, group, +1, insert_live=True,
+                           arrival=arrival)
+            else:
+                self._pending.append((key, arrival, value, group))
+
+    def _fold(
+        self,
+        key: float,
+        value: Optional[float],
+        group: Optional[str],
+        weight: int,
+        insert_live: bool = False,
+        arrival: int = 0,
+    ) -> None:
+        state = self._state.get(group)
+        if state is None:
+            state = self._state[group] = RetractableAggState(
+                track_minmax=self._track_minmax
+            )
+        state.add(value, weight)
+        self.values_processed += 1
+        if weight < 0:
+            self.retractions_done += 1
+        if insert_live:
+            item = (key, arrival, value, group)
+            if not self._live or key >= self._live[-1][0]:
+                self._live.append(item)
+            else:
+                bisect.insort(self._live, item, key=lambda t: t[0])
+
+    # -- emission -------------------------------------------------------
+    def _try_emit(self) -> Optional[List[Tuple[Any, ...]]]:
+        k = self.next_window
+        end = self.spec.window_end(k)
+        if self.spec.mode is WindowMode.COUNT:
+            if self._position < end:
+                return None
+            if self._vectorized:
+                self._fold_eligible()
+        else:
+            if self._watermark is None or self._watermark < end:
+                return None
+        rows = self._emit_rows(k)
+        self.next_window += 1
+        self._advance()
+        self.windows_emitted += 1
+        return rows
+
+    def _emit_rows(self, k: int) -> List[Tuple[Any, ...]]:
+        if not self.group_column:
+            state = self._state.get(None)
+            if state is None:
+                state = RetractableAggState(track_minmax=self._track_minmax)
+            return [self._retractable_row(k, None, state)]
+        # grouped: re-eval scans the buffer in *arrival* order, so its
+        # group order is first occurrence by arrival — reproduce it by
+        # ordering groups on their minimal live arrival seq
+        first_arrival: Dict[Optional[str], int] = {}
+        for _, arrival, _, group in self._live:
+            if group not in first_arrival or arrival < first_arrival[group]:
+                first_arrival[group] = arrival
+        ordered = sorted(first_arrival, key=first_arrival.get)
+        return [
+            self._retractable_row(k, group, self._state[group])
+            for group in ordered
+        ]
+
+    def _retractable_row(
+        self, k: int, group: Optional[str], state: RetractableAggState
+    ) -> Tuple[Any, ...]:
+        row: List[Any] = [k]
+        if self.group_column:
+            row.append(group)
+        for name in self.aggregates:
+            value = state.result(name)
+            if name in ("count", "count_star"):
+                row.append(int(value))
+            else:
+                row.append(None if value is None else float(value))
+        return tuple(row)
+
+    def _advance(self) -> None:
+        """Slide to the next window: retract leavers, absorb pending."""
+        if self._vectorized:
+            self._retract_vectorized()
+            self._fold_eligible()
+            return
+        k = self.next_window
+        start = self.spec.window_start(k)
+        end = self.spec.window_end(k)
+        # retract the live prefix that left the window
+        drop = 0
+        for key, _, value, group in self._live:
+            if key >= start:
+                break
+            self._fold(key, value, group, -1)
+            drop += 1
+        if drop:
+            del self._live[:drop]
+        # drop groups whose state emptied so they don't re-emit as zeros
+        for group in [g for g, s in self._state.items() if s.is_empty()]:
+            del self._state[group]
+        # absorb pending tuples now inside the window (sorted by key so
+        # live stays ordered; all pending keys are >= old end >= live max)
+        if self._pending:
+            absorbed = [p for p in self._pending if p[0] < end]
+            if absorbed:
+                absorbed.sort(key=lambda t: t[0])
+                self._pending = [p for p in self._pending if p[0] >= end]
+                for key, arrival, value, group in absorbed:
+                    self._fold(key, value, group, +1, insert_live=True,
+                               arrival=arrival)
+
+    def tuples_needed(self) -> Optional[int]:
+        if self.spec.mode is not WindowMode.COUNT:
+            return None
+        end = int(self.spec.window_end(self.next_window))
+        return max(0, end - self._position)
+
+    def describe(self) -> str:
+        return f"delta-window({self.aggregates}, {self.spec})"
+
+
+class DeltaWindowJoinPlan(ContinuousPlan):
+    """Sliding equi-join as an incremental Z-set circuit.
+
+    Same interface and output as
+    :class:`~repro.core.windows.SlidingWindowJoinPlan` — rows
+    ``(key, left_time, right_time)`` with ``|lt − rt| ≤ window``, each
+    matching pair emitted exactly once — but the matching happens in
+    :class:`~repro.incremental.circuit.IncrementalJoin`: arrivals are +1
+    deltas, expiry is a −1 fold into the integrated per-key state (no
+    output retraction: emitted pairs are final, append-only).
+    """
+
+    def __init__(
+        self,
+        left_basket: str,
+        right_basket: str,
+        left_key: str,
+        right_key: str,
+        window_seconds: float,
+        output_basket: str,
+    ):
+        if window_seconds <= 0:
+            raise DataCellError("join window must be positive")
+        self.left_basket = left_basket.lower()
+        self.right_basket = right_basket.lower()
+        self.left_key = left_key.lower()
+        self.right_key = right_key.lower()
+        self.window = float(window_seconds)
+        self.output_basket = output_basket.lower()
+        # join rows are (key, stamp); key at index 0 on both sides
+        self._join = IncrementalJoin(left_key=0, right_key=0)
+        # arrival-ordered expiry queues (dc_time is monotone per basket)
+        self._left_ages: Deque[Tuple[float, Tuple[Any, float]]] = deque()
+        self._right_ages: Deque[Tuple[float, Tuple[Any, float]]] = deque()
+        self._watermark = -math.inf
+        self.pairs_emitted = 0
+        self.retractions_done = 0
+
+    # -- durability (same contract as the core window plans) ------------
+    def export_state(self) -> bytes:
+        import pickle
+
+        state = dict(self.__dict__)
+        state["_join"] = self._join.export_state()
+        return pickle.dumps(state, protocol=4)
+
+    def import_state(self, blob: Optional[bytes]) -> None:
+        if blob is None:
+            raise DataCellError(
+                "delta window join expected saved state in the "
+                "checkpoint but found none"
+            )
+        import pickle
+
+        state = pickle.loads(blob)
+        join_state = state.pop("_join")
+        self.__dict__.update(state)
+        self._join = IncrementalJoin(left_key=0, right_key=0)
+        self._join.import_state(join_state)
+
+    def nbytes(self) -> int:
+        from ..obs.resources import estimate_nbytes
+
+        return self._join.nbytes() + estimate_nbytes(
+            {"l": self._left_ages, "r": self._right_ages}
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, snapshots: Dict[str, BasketSnapshot]) -> PlanOutput:
+        dleft = self._pull(
+            snapshots.get(self.left_basket), self.left_key, self._left_ages
+        )
+        dright = self._pull(
+            snapshots.get(self.right_basket), self.right_key,
+            self._right_ages,
+        )
+        pairs = self._join.step_both(dleft, dright)
+        # expire after probing, matching SlidingWindowJoinPlan: a tuple
+        # that just fell outside the horizon was still probe-able this
+        # firing (the |lt−rt| predicate is what excludes stale pairs)
+        self._expire()
+        rows: List[Tuple[Any, float, float]] = []
+        for row, weight in pairs.items():
+            key, lstamp, rstamp = row
+            if abs(lstamp - rstamp) <= self.window:
+                rows.extend([(key, lstamp, rstamp)] * weight)
+        self.pairs_emitted += len(rows)
+        if not rows:
+            return PlanOutput()
+        keys, lts, rts = zip(*rows)
+        result = ResultSet(
+            ["key", "left_time", "right_time"],
+            [
+                bat_from_values(self._key_atom, list(keys)),
+                bat_from_values(AtomType.TIMESTAMP, list(lts)),
+                bat_from_values(AtomType.TIMESTAMP, list(rts)),
+            ],
+        )
+        return PlanOutput(results={self.output_basket: result})
+
+    _key_atom = AtomType.LNG
+
+    def _pull(self, snap, key_col: str, ages) -> ZSet:
+        delta = ZSet()
+        if snap is None or snap.count == 0:
+            return delta
+        keys = snap.column(key_col).python_list()
+        times = snap.column(TIME_COLUMN).tail.astype(np.float64)
+        if len(times):
+            self._watermark = max(self._watermark, float(times.max()))
+        if snap.column(key_col).atom is AtomType.STR:
+            self._key_atom = AtomType.STR
+        elif snap.column(key_col).atom is AtomType.DBL:
+            self._key_atom = AtomType.DBL
+        for key, stamp in zip(keys, times):
+            if key is None:
+                continue
+            row = (key, float(stamp))
+            delta.add(row, +1)
+            ages.append((float(stamp), row))
+        return delta
+
+    def _expire(self) -> None:
+        """Retract tuples older than the window from the join state.
+
+        Folds −1 deltas straight into the integrated state (not through
+        ``step_both``, which would emit retraction pairs for output that
+        is by contract append-only).
+        """
+        horizon = self._watermark - self.window
+        for ages, state, key_index in (
+            (self._left_ages, self._join.left_state, 0),
+            (self._right_ages, self._join.right_state, 0),
+        ):
+            retract = ZSet()
+            while ages and ages[0][0] < horizon:
+                _, row = ages.popleft()
+                retract.add(row, -1)
+                self.retractions_done += 1
+            if retract:
+                self._join._fold(state, key_index, retract)
+
+    def describe(self) -> str:
+        return (
+            f"delta-window-join({self.left_basket}.{self.left_key} = "
+            f"{self.right_basket}.{self.right_key}, w={self.window}s)"
+        )

@@ -693,6 +693,41 @@ def _bat_concat(ctx, left: BAT, right: BAT) -> BAT:
 
 
 # ----------------------------------------------------------------------
+# delta module — weighted (Z-set) relations for incremental execution
+# ----------------------------------------------------------------------
+def _register_delta() -> None:
+    from . import delta as _delta
+    from .bat import BAT as _BAT
+
+    _REGISTRY["delta.canonicalize"] = (
+        lambda ctx, result: _delta.canonicalize(result)
+    )
+    _REGISTRY["delta.expand"] = lambda ctx, result: _delta.expand(result)
+
+    def _wsum(ctx, values: _BAT, weights: _BAT, gids, ngroups: int):
+        sums = _delta.weighted_grouped_sum(
+            values.tail, weights.tail, gids.tail, int(ngroups)
+        )
+        out = _BAT(AtomType.DBL, capacity=max(len(sums), 1))
+        out.append_array(sums)
+        return out
+
+    def _wcount(ctx, weights: _BAT, gids, ngroups: int):
+        counts = _delta.weighted_grouped_count(
+            weights.tail, gids.tail, int(ngroups)
+        )
+        out = _BAT(AtomType.LNG, capacity=max(len(counts), 1))
+        out.append_array(counts)
+        return out
+
+    _REGISTRY["delta.subsum"] = _wsum
+    _REGISTRY["delta.subcount"] = _wcount
+
+
+_register_delta()
+
+
+# ----------------------------------------------------------------------
 # language niceties
 # ----------------------------------------------------------------------
 @primitive("language.pass")

@@ -100,6 +100,10 @@ class CrashSpec:
     #: user-visible output must stay byte-identical, since system
     #: streams never enter the WAL or the checkpoints
     sampling: bool = False
+    #: execution route ("reeval" or "incremental"): incremental circuit
+    #: and delta-window state rides the same checkpoint/WAL machinery,
+    #: so kill-and-restart must be byte-identical on both routes
+    execution: str = "reeval"
 
     def input_events(self) -> List[InputEvent]:
         events = []
@@ -147,7 +151,8 @@ def render_crash_repro(spec: CrashSpec) -> str:
         f"checkpoint_every={spec.checkpoint_every}, "
         f"fsync={spec.fsync!r}, window={spec.window}, "
         f"window_aggregate={spec.window_aggregate!r}, "
-        f"sampling={spec.sampling}, rows={list(spec.rows)!r})"
+        f"sampling={spec.sampling}, execution={spec.execution!r}, "
+        f"rows={list(spec.rows)!r})"
     )
 
 
@@ -199,10 +204,14 @@ def _build(
             WindowSpec(WindowMode.COUNT, size, slide),
             incremental=True,
             name=QUERY,
+            execution=(
+                "incremental" if spec.execution == "incremental" else None
+            ),
         )
     else:
         handle = cell.submit_continuous(
-            ORACLE_CASES[spec.case].continuous_sql, name=QUERY
+            ORACLE_CASES[spec.case].continuous_sql, name=QUERY,
+            execution=spec.execution,
         )
     return sim, cell, handle
 
@@ -328,6 +337,9 @@ def crash_episode_spec(index: int, base_seed: int) -> CrashSpec:
         window=WINDOW_GEOMETRIES[index % len(WINDOW_GEOMETRIES)],
         window_aggregate=AGGREGATES[index % len(AGGREGATES)],
         sampling=(index % 2 == 1),
+        # every third episode exercises the incremental route, so circuit
+        # and delta-window state recovery is continuously gated
+        execution="incremental" if index % 3 == 2 else "reeval",
     )
 
 

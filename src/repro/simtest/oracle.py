@@ -132,6 +132,10 @@ class EpisodeSpec:
     time_step: float = 0.25
     batch_fault_rate: float = 0.0
     exception_rate: float = 0.0
+    #: execution route for the continuous side: "reeval" (MAL re-eval)
+    #: or "incremental" (Z-set circuits, repro.incremental) — the oracle
+    #: claim is route-independent, so both must pass every episode
+    execution: str = "reeval"
 
     def fault_plan(self) -> Optional[FaultPlan]:
         if self.batch_fault_rate <= 0 and self.exception_rate <= 0:
@@ -215,7 +219,9 @@ def run_streaming(
         channel = FaultableChannel(channel, faults, sim.clock)
     cell.add_receptor("tap", [STREAM], channel=channel)
     sim.bind_channel(CHANNEL, channel)
-    handle = cell.submit_continuous(case.continuous_sql)
+    handle = cell.submit_continuous(
+        case.continuous_sql, execution=spec.execution
+    )
     if bug is not None:
         bug(handle)
     episode = sim.run_episode(spec.input_events())
@@ -323,7 +329,8 @@ def render_repro(spec: EpisodeSpec) -> str:
         f"policy={spec.policy!r}, batch_size={spec.batch_size}, "
         f"time_step={spec.time_step}, "
         f"batch_fault_rate={spec.batch_fault_rate}, "
-        f"exception_rate={spec.exception_rate}, rows={list(spec.rows)!r})"
+        f"exception_rate={spec.exception_rate}, "
+        f"execution={spec.execution!r}, rows={list(spec.rows)!r})"
     )
 
 
@@ -341,6 +348,7 @@ def run_window_differential(
     min_tuples: int = 1,
     batch_fault_rate: float = 0.0,
     incremental: bool = True,
+    execution: Optional[str] = None,
 ) -> Tuple[List[float], List[float], EpisodeResult]:
     """Window aggregate through the engine vs the naive per-tuple oracle.
 
@@ -374,6 +382,7 @@ def run_window_differential(
         [aggregate],
         WindowSpec(WindowMode.COUNT, size, slide),
         incremental=incremental,
+        execution=execution,
     )
     handle.factory.inputs[0].min_tuples = min_tuples
     events = [

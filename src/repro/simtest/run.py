@@ -44,7 +44,9 @@ WINDOW_GEOMETRIES = [
 AGGREGATES = ("sum", "count", "avg", "min", "max")
 
 
-def _episode_spec(index: int, base_seed: int) -> EpisodeSpec:
+def _episode_spec(
+    index: int, base_seed: int, execution: str = "reeval"
+) -> EpisodeSpec:
     seed = base_seed + index
     rng = random.Random(f"datacell-episode:{seed}")
     policies = list(policy_names()) + ["starve:tap"]
@@ -60,10 +62,13 @@ def _episode_spec(index: int, base_seed: int) -> EpisodeSpec:
         batch_size=rng.choice((1, 2, 3, 5, 8)),
         batch_fault_rate=0.3 if index % 3 == 0 else 0.0,
         exception_rate=0.15 if index % 6 == 0 else 0.0,
+        execution=execution,
     )
 
 
-def _run_window_episode(index: int, base_seed: int) -> Optional[str]:
+def _run_window_episode(
+    index: int, base_seed: int, execution: Optional[str] = None
+) -> Optional[str]:
     """One window differential; returns a failure description or None."""
     seed = base_seed + index
     rng = random.Random(f"datacell-window-episode:{seed}")
@@ -83,6 +88,7 @@ def _run_window_episode(index: int, base_seed: int) -> Optional[str]:
         batch_size=rng.choice((1, 3, 7)),
         min_tuples=rng.choice((1, 1, 1, size + 2)),
         batch_fault_rate=0.3 if index % 3 == 0 else 0.0,
+        execution=execution,
     )
     if streaming == naive:
         return None
@@ -108,6 +114,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="write a JSON repro artifact here on failure",
     )
+    parser.add_argument(
+        "--execution",
+        choices=("reeval", "incremental"),
+        default="reeval",
+        help="engine execution mode for every episode "
+        "(incremental = Z-set delta circuits)",
+    )
     args = parser.parse_args(argv)
     if args.seed is None:
         args.seed = current_seed()
@@ -116,11 +129,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     shrunk_artifact = None
     for index in range(args.episodes):
         if index % 5 == 4:
-            message = _run_window_episode(index, args.seed)
+            message = _run_window_episode(
+                index,
+                args.seed,
+                execution=(
+                    "incremental"
+                    if args.execution == "incremental"
+                    else None
+                ),
+            )
             if message is not None:
                 failures.append(message)
             continue
-        spec = _episode_spec(index, args.seed)
+        spec = _episode_spec(index, args.seed, execution=args.execution)
         result = check_episode(spec)
         if result.ok:
             continue

@@ -1,0 +1,345 @@
+"""Property tests for the Z-set algebra and the incremental operators.
+
+Hypothesis hammers the algebraic laws the incremental execution mode
+rests on: Z-sets form an abelian group under merge with eager zero
+elimination, differentiation inverts integration (``D(I(s)) == s``),
+lifted operators are linear, and the stateful operators (group
+aggregate with retraction, equi-join against integrated state) agree
+with brute-force recomputation over the integrated input — including
+MIN/MAX under adversarial insert/retract sequences, where a retraction
+of the current extremum forces the state to resurrect the runner-up.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, seed, settings
+from hypothesis import strategies as st
+
+from repro.incremental import (
+    Delay,
+    Differentiate,
+    IncrementalGroupAggregate,
+    IncrementalJoin,
+    Integrate,
+    Lift,
+    ZSet,
+    integrate_weighted_rows,
+)
+from repro.testing import current_seed
+
+# rows are small tuples of small ints: collisions (and hence weight
+# accumulation / cancellation) must actually happen
+row_st = st.tuples(st.integers(0, 3), st.integers(-2, 2))
+weight_st = st.integers(-3, 3).filter(lambda w: w != 0)
+zset_st = st.lists(st.tuples(row_st, weight_st), max_size=12).map(
+    lambda pairs: _zset(pairs)
+)
+
+
+def _zset(pairs):
+    out = ZSet()
+    for row, weight in pairs:
+        out.add(row, weight)
+    return out
+
+
+# ----------------------------------------------------------------------
+# group algebra
+# ----------------------------------------------------------------------
+@seed(current_seed())
+@settings(max_examples=120, deadline=None)
+@given(zset_st)
+def test_additive_inverse_cancels(a):
+    assert not (a + (-a))
+    assert not (a - a)
+
+
+@seed(current_seed())
+@settings(max_examples=120, deadline=None)
+@given(zset_st, zset_st)
+def test_merge_commutes(a, b):
+    assert a + b == b + a
+
+
+@seed(current_seed())
+@settings(max_examples=120, deadline=None)
+@given(zset_st, zset_st, zset_st)
+def test_merge_associates(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@seed(current_seed())
+@settings(max_examples=120, deadline=None)
+@given(zset_st, zset_st)
+def test_zero_weights_are_always_eliminated(a, b):
+    merged = a + b
+    assert all(w != 0 for _, w in merged.items())
+
+
+@seed(current_seed())
+@settings(max_examples=100, deadline=None)
+@given(st.lists(row_st, max_size=10))
+def test_from_rows_to_rows_round_trips_multisets(rows):
+    z = ZSet.from_rows(rows)
+    assert Counter(z.to_rows()) == Counter(rows)
+    assert z.total_weight() == len(rows)
+    assert z.is_positive()
+
+
+@seed(current_seed())
+@settings(max_examples=100, deadline=None)
+@given(zset_st)
+def test_weighted_rows_round_trip(z):
+    again = ZSet()
+    for *row, weight in z.to_weighted_rows():
+        again.add(tuple(row), weight)
+    assert again == z
+
+
+def test_to_rows_refuses_retractions():
+    z = ZSet({(1, 2): -1})
+    with pytest.raises(Exception):
+        z.to_rows()
+
+
+def test_integrate_weighted_rows_cancels():
+    rows = [(1, 5, 1), (1, 5, 1), (1, 5, -1), (2, 7, 1)]
+    assert Counter(integrate_weighted_rows(rows)) == Counter(
+        [(1, 5), (2, 7)]
+    )
+
+
+# ----------------------------------------------------------------------
+# stream operators: D(I(s)) == s, delay, lift linearity
+# ----------------------------------------------------------------------
+@seed(current_seed())
+@settings(max_examples=80, deadline=None)
+@given(st.lists(zset_st, max_size=8))
+def test_differentiate_inverts_integrate(stream):
+    integrate, differentiate = Integrate(), Differentiate()
+    for delta in stream:
+        assert differentiate.step(integrate.step(delta)) == delta
+
+
+@seed(current_seed())
+@settings(max_examples=80, deadline=None)
+@given(st.lists(zset_st, max_size=8))
+def test_delay_shifts_by_one_step(stream):
+    delay = Delay()
+    previous = ZSet()
+    for delta in stream:
+        assert delay.step(delta) == previous
+        previous = delta
+
+
+@seed(current_seed())
+@settings(max_examples=80, deadline=None)
+@given(zset_st, zset_st)
+def test_lift_is_linear(a, b):
+    fn = lambda row: (row[0] + row[1],)  # noqa: E731
+    assert Lift(fn).step(a + b) == Lift(fn).step(a) + Lift(fn).step(b)
+
+
+# ----------------------------------------------------------------------
+# incremental group aggregate vs brute force, with retraction
+# ----------------------------------------------------------------------
+# an op sequence: True = insert a fresh (key, value); False = retract
+# one previously inserted element (chosen by index into the live set)
+agg_ops_st = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(0, 2),  # key
+        st.integers(-5, 5),  # value
+        st.integers(0, 10 ** 6),  # retract choice
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _expected_agg_rows(live, aggregates):
+    """Brute-force ``(key, *aggs)`` rows over the live multiset."""
+    by_key = {}
+    for key, value in live:
+        by_key.setdefault(key, []).append(value)
+    rows = []
+    for key, values in by_key.items():
+        out = [key]
+        for name in aggregates:
+            if name == "sum":
+                out.append(float(sum(values)))
+            elif name in ("count", "count_star"):
+                out.append(len(values))
+            elif name == "avg":
+                out.append(float(sum(values)) / len(values))
+            elif name == "min":
+                out.append(float(min(values)))
+            elif name == "max":
+                out.append(float(max(values)))
+        rows.append(tuple(out))
+    return Counter(rows)
+
+
+def _drive_aggregate(ops, aggregates, batch=3):
+    op = IncrementalGroupAggregate(list(aggregates), grouped=True)
+    integrated = ZSet()
+    live = []  # multiset of (key, value) currently inserted
+    pending = ZSet()
+    staged = 0
+    for insert, key, value, choice in ops:
+        if insert:
+            live.append((key, value))
+            pending.add((key, value), +1)
+        elif live:
+            key, value = live.pop(choice % len(live))
+            pending.add((key, value), -1)
+        else:
+            continue
+        staged += 1
+        if staged >= batch:
+            integrated.merge(op.step(pending))
+            pending, staged = ZSet(), 0
+    if pending or staged:
+        integrated.merge(op.step(pending))
+    return integrated, live
+
+
+@seed(current_seed())
+@settings(max_examples=100, deadline=None)
+@given(agg_ops_st, st.integers(1, 4))
+def test_group_aggregate_integrates_to_brute_force(ops, batch):
+    aggregates = ("sum", "count", "avg")
+    integrated, live = _drive_aggregate(ops, aggregates, batch=batch)
+    assert integrated.is_positive()
+    assert (
+        Counter(integrated.to_rows())
+        == _expected_agg_rows(live, aggregates)
+    )
+
+
+@seed(current_seed())
+@settings(max_examples=100, deadline=None)
+@given(agg_ops_st, st.integers(1, 4))
+def test_minmax_survive_adversarial_retraction(ops, batch):
+    """Retracting the current extremum must resurrect the runner-up."""
+    aggregates = ("min", "max", "count")
+    integrated, live = _drive_aggregate(ops, aggregates, batch=batch)
+    assert (
+        Counter(integrated.to_rows())
+        == _expected_agg_rows(live, aggregates)
+    )
+
+
+def test_minmax_retraction_explicit():
+    op = IncrementalGroupAggregate(["max"], grouped=False)
+    out = ZSet()
+    out.merge(op.step(ZSet.from_rows([((), 5), ((), 9), ((), 3)])))
+    assert out.to_rows() == [(9.0,)]
+    out.merge(op.step(ZSet({((), 9): -1})))  # retract the max
+    assert out.to_rows() == [(5.0,)]
+    out.merge(op.step(ZSet({((), 5): -1, ((), 3): -1})))
+    assert not out  # group emptied: only the retraction remains
+
+
+# ----------------------------------------------------------------------
+# incremental join vs brute force
+# ----------------------------------------------------------------------
+join_row_st = st.tuples(st.integers(0, 3), st.integers(0, 5))
+join_stream_st = st.lists(
+    st.tuples(
+        st.lists(join_row_st, max_size=4),  # left batch
+        st.lists(join_row_st, max_size=4),  # right batch
+    ),
+    max_size=8,
+)
+
+
+@seed(current_seed())
+@settings(max_examples=100, deadline=None)
+@given(join_stream_st)
+def test_join_integrates_to_brute_force(stream):
+    op = IncrementalJoin(0, 0)
+    integrated = ZSet()
+    left_all, right_all = [], []
+    for left_batch, right_batch in stream:
+        left_all.extend(left_batch)
+        right_all.extend(right_batch)
+        integrated.merge(
+            op.step_both(
+                ZSet.from_rows(left_batch), ZSet.from_rows(right_batch)
+            )
+        )
+    expected = Counter(
+        (lk, lv, rv)
+        for lk, lv in left_all
+        for rk, rv in right_all
+        if lk == rk
+    )
+    assert integrated.is_positive()
+    assert Counter(integrated.to_rows()) == expected
+
+
+@seed(current_seed())
+@settings(max_examples=60, deadline=None)
+@given(join_stream_st)
+def test_join_delta_order_is_irrelevant(stream):
+    """All-left-then-all-right == interleaved batches (same integral)."""
+    interleaved = IncrementalJoin(0, 0)
+    a = ZSet()
+    for left_batch, right_batch in stream:
+        a.merge(
+            interleaved.step_both(
+                ZSet.from_rows(left_batch), ZSet.from_rows(right_batch)
+            )
+        )
+    sequential = IncrementalJoin(0, 0)
+    b = ZSet()
+    for left_batch, _ in stream:
+        b.merge(sequential.step_both(ZSet.from_rows(left_batch), ZSet()))
+    for _, right_batch in stream:
+        b.merge(sequential.step_both(ZSet(), ZSet.from_rows(right_batch)))
+    assert a == b
+
+
+def test_join_retraction_cancels_pairs():
+    op = IncrementalJoin(0, 0)
+    out = ZSet()
+    out.merge(op.step_both(ZSet.from_rows([(1, "a")]), ZSet()))
+    out.merge(op.step_both(ZSet(), ZSet.from_rows([(1, "b")])))
+    assert out.to_rows() == [(1, "a", "b")]
+    out.merge(op.step_both(ZSet({(1, "a"): -1}), ZSet()))
+    assert not out
+
+
+# ----------------------------------------------------------------------
+# operator state round-trips (durability contract)
+# ----------------------------------------------------------------------
+@seed(current_seed())
+@settings(max_examples=40, deadline=None)
+@given(agg_ops_st)
+def test_aggregate_state_round_trip_preserves_behaviour(ops):
+    aggregates = ("sum", "min", "max", "count")
+    original = IncrementalGroupAggregate(list(aggregates), grouped=True)
+    for insert, key, value, _ in ops:
+        weight = 1 if insert else -1
+        if weight < 0:
+            continue  # keep the state a valid multiset
+        original.step(ZSet({(key, value): weight}))
+    clone = IncrementalGroupAggregate(list(aggregates), grouped=True)
+    clone.import_state(original.export_state())
+    probe = ZSet.from_rows([(0, 99), (1, -99)])
+    assert original.step(probe.copy()) == clone.step(probe.copy())
+
+
+def test_join_state_round_trip_preserves_behaviour():
+    original = IncrementalJoin(0, 0)
+    original.step_both(
+        ZSet.from_rows([(1, "a"), (2, "b")]), ZSet.from_rows([(1, "x")])
+    )
+    clone = IncrementalJoin(0, 0)
+    clone.import_state(original.export_state())
+    probe_r = ZSet.from_rows([(2, "y"), (1, "z")])
+    assert original.step_both(ZSet(), probe_r.copy()) == clone.step_both(
+        ZSet(), probe_r.copy()
+    )
