@@ -10,8 +10,7 @@ for ``Basket.insert_rows`` or channel pushes.
 from __future__ import annotations
 
 import random
-import string
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..testing import current_seed
 

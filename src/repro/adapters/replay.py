@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from ..core.clock import Clock
 from ..errors import AdapterError

@@ -1,0 +1,43 @@
+"""Static analysis for DataCell: plan verification and engine lint.
+
+Three layers, one goal — fail at *registration* (or in CI), not hours
+into a run when a factory fires:
+
+* :mod:`repro.analysis.verifier` — a MAL program verifier checking
+  def-before-use, single assignment, opcode arity and abstract type
+  propagation against the kernel signature catalog, schema compatibility
+  at factory/emitter boundaries, candidate-list invariants, dead
+  instructions, and incremental-circuit structure.
+* :mod:`repro.analysis.lint` — an AST-based engine-invariant linter
+  (``python -m repro.analysis.lint``): wall-clock and global-random
+  bans outside the approved seams, bare lock acquisition and lock-order
+  discipline, reserved ``sys.*`` name guards.
+* :mod:`repro.analysis.lockorder` — a runtime lock-order recorder that
+  turns deadlock *potential* (an acquisition-graph cycle) into a test
+  failure even when the interleaving never deadlocks.
+
+See ``docs/static_analysis.md`` for the rule catalog and suppression
+syntax.
+"""
+
+from .diagnostics import Diagnostic, PlanVerificationError, raise_on_errors
+from .lockorder import (
+    LockOrderError,
+    LockOrderRecorder,
+    global_recorder,
+    set_global_recorder,
+)
+from .verifier import verify_circuit, verify_continuous, verify_program
+
+__all__ = [
+    "Diagnostic",
+    "PlanVerificationError",
+    "raise_on_errors",
+    "verify_program",
+    "verify_continuous",
+    "verify_circuit",
+    "LockOrderRecorder",
+    "LockOrderError",
+    "global_recorder",
+    "set_global_recorder",
+]

@@ -1,0 +1,137 @@
+"""Diagnostics for the static plan verifier.
+
+A :class:`Diagnostic` pins a finding to a MAL instruction *and* to the
+logical plan node that emitted it, so the error a user sees at
+registration time reads like ``continuous select > where: ...`` rather
+than a bare variable name.  :class:`PlanVerificationError` carries the
+full diagnostic list and renders them one per line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, TYPE_CHECKING
+
+from ..errors import SqlError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.mal import Program
+
+__all__ = [
+    "Diagnostic",
+    "PlanVerificationError",
+    "node_path",
+    "raise_on_errors",
+]
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding, anchored to an instruction and plan node."""
+
+    rule: str
+    message: str
+    severity: str = ERROR
+    instr_index: Optional[int] = None
+    instr_text: Optional[str] = None
+    node_id: Optional[int] = None
+    node_path: Optional[str] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+    def render(self) -> str:
+        where = []
+        if self.node_path:
+            where.append(self.node_path)
+        if self.instr_index is not None:
+            where.append(f"instr #{self.instr_index}")
+        prefix = f"[{self.rule}] " + (" @ ".join(where) + ": " if where else "")
+        text = f"{prefix}{self.message}"
+        if self.instr_text:
+            text += f"\n    {self.instr_text}"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "instr_index": self.instr_index,
+            "instr_text": self.instr_text,
+            "node_id": self.node_id,
+            "node_path": self.node_path,
+        }
+
+
+def node_path(program: "Program", node_id: Optional[int]) -> Optional[str]:
+    """Render ``root > ... > node`` labels for a plan-node id."""
+    if node_id is None or not getattr(program, "nodes", None):
+        return None
+    node = program.nodes.get(node_id)
+    if node is None:
+        return None
+    labels: List[str] = []
+    seen = set()
+    while node is not None and node.node_id not in seen:
+        seen.add(node.node_id)
+        labels.append(node.label)
+        parent = getattr(node, "parent", None)
+        node = program.nodes.get(parent) if parent is not None else None
+    return " > ".join(reversed(labels))
+
+
+class PlanVerificationError(SqlError):
+    """A compiled plan failed static verification at registration time."""
+
+    def __init__(
+        self, diagnostics: Sequence[Diagnostic], context: str = ""
+    ) -> None:
+        self.diagnostics: List[Diagnostic] = list(diagnostics)
+        errors = [d for d in self.diagnostics if d.is_error]
+        head = context or "plan verification failed"
+        lines = [f"{head} ({len(errors)} error(s)):"]
+        lines.extend("  " + d.render().replace("\n", "\n  ") for d in errors)
+        super().__init__("\n".join(lines))
+
+
+def raise_on_errors(
+    diagnostics: Sequence[Diagnostic], context: str = ""
+) -> None:
+    """Raise :class:`PlanVerificationError` if any diagnostic is an error."""
+    if any(d.is_error for d in diagnostics):
+        raise PlanVerificationError(diagnostics, context=context)
+
+
+@dataclass
+class DiagnosticSink:
+    """Mutable collector the verifier threads through its checks."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def report(
+        self,
+        rule: str,
+        message: str,
+        *,
+        severity: str = ERROR,
+        instr_index: Optional[int] = None,
+        instr_text: Optional[str] = None,
+        node_id: Optional[int] = None,
+        path: Optional[str] = None,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                rule=rule,
+                message=message,
+                severity=severity,
+                instr_index=instr_index,
+                instr_text=instr_text,
+                node_id=node_id,
+                node_path=path,
+            )
+        )

@@ -1,0 +1,206 @@
+"""Runtime lock-order recorder: deadlock *potential* as a test failure.
+
+The durability consistency cut and shared-basket factories rely on
+Algorithm-1 discipline: whenever more than one basket lock is held, the
+locks were taken in sorted-name order.  A deadlock from a violation only
+manifests under the wrong interleaving — this recorder instead builds
+the *acquisition graph* (edge ``a → b`` whenever ``b`` is acquired while
+``a`` is held, per thread, reentrancy-aware) and flags any cycle the
+moment its closing edge appears, regardless of whether the schedule ever
+actually deadlocks.
+
+Wiring is a duck-typed seam: :meth:`Catalog.register` wraps each
+table's lock via ``catalog.lock_observer.wrap(name, lock)`` when an
+observer is installed, so the kernel never imports this module.  The
+simtest harness installs a strict global recorder under
+``--lock-order``; unit tests construct their own.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Set
+
+from ..errors import DataCellError
+
+__all__ = [
+    "LockOrderError",
+    "LockOrderRecorder",
+    "ObservedLock",
+    "global_recorder",
+    "set_global_recorder",
+]
+
+
+class LockOrderError(DataCellError):
+    """An acquisition-graph cycle (deadlock potential) was detected."""
+
+
+class LockOrderRecorder:
+    """Records lock acquisitions and detects ordering cycles.
+
+    ``strict=True`` raises :class:`LockOrderError` at the violating
+    acquisition; otherwise violations accumulate in :attr:`violations`
+    for the harness to assert on.
+    """
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        self.violations: List[str] = []
+        # acquisition graph: name -> names acquired while it was held
+        self._edges: Dict[str, Set[str]] = {}
+        self._graph_lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- wiring --------------------------------------------------------
+    def wrap(self, name: str, lock) -> "ObservedLock":
+        """Wrap a lock so its acquisitions feed this recorder."""
+        return ObservedLock(name, lock, self)
+
+    # -- per-thread held stack -----------------------------------------
+    def _held(self) -> List[str]:
+        stack = getattr(self._local, "held", None)
+        if stack is None:
+            stack = []
+            self._local.held = stack
+        return stack
+
+    def _counts(self) -> Dict[str, int]:
+        counts = getattr(self._local, "counts", None)
+        if counts is None:
+            counts = {}
+            self._local.counts = counts
+        return counts
+
+    # -- events --------------------------------------------------------
+    def on_acquire(self, name: str) -> None:
+        held = self._held()
+        counts = self._counts()
+        if counts.get(name, 0):  # reentrant re-acquire: no new edge
+            counts[name] += 1
+            return
+        counts[name] = 1
+        cycle: Optional[List[str]] = None
+        with self._graph_lock:
+            for holder in held:
+                if holder == name:
+                    continue
+                self._edges.setdefault(holder, set()).add(name)
+            if held:
+                cycle = self._find_cycle(name)
+        held.append(name)
+        if cycle:
+            message = (
+                f"lock-order cycle: {' -> '.join(cycle)} "
+                f"(acquired {name!r} while holding "
+                f"{', '.join(repr(h) for h in held[:-1])})"
+            )
+            self.violations.append(message)
+            if self.strict:
+                raise LockOrderError(message)
+
+    def on_release(self, name: str) -> None:
+        counts = self._counts()
+        remaining = counts.get(name, 0) - 1
+        if remaining > 0:
+            counts[name] = remaining
+            return
+        counts.pop(name, None)
+        held = self._held()
+        if name in held:
+            held.remove(name)
+
+    # -- cycle detection ------------------------------------------------
+    def _find_cycle(self, start: str) -> Optional[List[str]]:
+        """DFS from ``start`` back to itself through acquisition edges."""
+        path: List[str] = [start]
+        seen: Set[str] = set()
+
+        def walk(node: str) -> Optional[List[str]]:
+            for succ in self._edges.get(node, ()):
+                if succ == start:
+                    return path + [start]
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                path.append(succ)
+                found = walk(succ)
+                if found:
+                    return found
+                path.pop()
+            return None
+
+        return walk(start)
+
+    # -- reporting ------------------------------------------------------
+    def edge_count(self) -> int:
+        with self._graph_lock:
+            return sum(len(v) for v in self._edges.values())
+
+    def summary(self) -> str:
+        return (
+            f"lock-order: {self.edge_count()} acquisition edge(s), "
+            f"{len(self.violations)} violation(s)"
+        )
+
+
+class ObservedLock:
+    """Proxy forwarding to the real lock, reporting to the recorder.
+
+    Acquisition is reported *after* the real acquire succeeds so the
+    recorder never sees a lock the thread failed to take; release is
+    reported before the real release.
+    """
+
+    __slots__ = ("_name", "_lock", "_recorder")
+
+    def __init__(self, name: str, lock, recorder: LockOrderRecorder) -> None:
+        self._name = name
+        self._lock = lock
+        self._recorder = recorder
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            try:
+                self._recorder.on_acquire(self._name)
+            except BaseException:
+                # strict-mode refusal: unwind so the caller never holds
+                # a lock it was told it could not take
+                self.release()
+                raise
+        return acquired
+
+    def release(self) -> None:
+        self._recorder.on_release(self._name)
+        self._lock.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ObservedLock({self._name!r})"
+
+
+_GLOBAL: Optional[LockOrderRecorder] = None
+
+
+def set_global_recorder(
+    recorder: Optional[LockOrderRecorder],
+) -> Optional[LockOrderRecorder]:
+    """Install (or clear, with None) the process-wide recorder.
+
+    New :class:`~repro.core.engine.DataCell` instances pick it up at
+    construction; returns the previous recorder so callers can restore.
+    """
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = recorder
+    return previous
+
+
+def global_recorder() -> Optional[LockOrderRecorder]:
+    return _GLOBAL

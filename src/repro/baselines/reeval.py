@@ -9,7 +9,7 @@ even that, bounding the other end of the W1 benchmark's spectrum.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Optional
 
 from ..errors import DataCellError
 

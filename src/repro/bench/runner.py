@@ -11,13 +11,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..adapters.channels import InMemoryChannel
 from ..core.basket import Basket
 from ..core.clock import LogicalClock
 from ..core.emitter import CollectingClient, Emitter
-from ..core.factory import CallablePlan, ConsumeMode, Factory, InputBinding
+from ..core.factory import ConsumeMode, Factory, InputBinding
 from ..core.receptor import Receptor
 from ..core.scheduler import Scheduler
 from ..core.strategies import RangeQuery, SelectPlan

@@ -26,14 +26,13 @@ Implementation notes
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import BasketError
-from ..kernel.bat import BAT, bat_from_values
+from ..kernel.bat import BAT
 from ..kernel.catalog import ColumnDef, Schema, Table
 from ..kernel.mal import ResultSet
 from ..kernel.types import AtomType

@@ -9,12 +9,11 @@ the final Petri-net transition of the query chain.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 import numpy as np
 
 from ..adapters.channels import Channel, format_tuple
-from ..errors import AdapterError
 from ..obs.metrics import MetricsRegistry, default_registry
 from ..obs.spans import SpanRecorder
 from .basket import Basket, TIME_COLUMN

@@ -22,8 +22,10 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from ..adapters.channels import Channel, InMemoryChannel
+from ..analysis.diagnostics import raise_on_errors
+from ..analysis.lockorder import LockOrderRecorder, global_recorder
+from ..analysis.verifier import verify_circuit, verify_continuous
 from ..durability.manager import DurabilityManager
-from ..durability.recovery import RecoveryReport
 from ..durability.wal import DurabilityConfig
 from ..errors import BindError, DataCellError, SqlError
 from ..kernel.catalog import Catalog, Table
@@ -50,7 +52,6 @@ from ..sql.ast_nodes import (
     Insert,
     Literal,
     Select,
-    Statement,
     UnaryOp,
     UnionSelect,
     contains_basket_expr,
@@ -95,9 +96,21 @@ class DataCell:
         system_streams: Union[bool, SystemStreamsConfig, None] = None,
         resources: Optional[bool] = None,
         execution: str = "reeval",
+        verify: bool = True,
+        lock_order: Optional[LockOrderRecorder] = None,
     ):
         self.clock = clock or WallClock()
         self.catalog = Catalog()
+        # static plan verification at registration (repro.analysis):
+        # a bad plan fails fast with a plan-node-anchored diagnostic
+        # instead of a mid-firing error in a factory thread
+        self.verify = verify
+        # lock-order recorder seam: explicit instance, or whatever the
+        # simtest harness installed process-wide (None = disabled)
+        recorder = lock_order if lock_order is not None else global_recorder()
+        if recorder is not None:
+            self.catalog.lock_observer = recorder
+        self.lock_order = recorder
         # default execution mode for continuous queries: "reeval" runs
         # every firing over the full MAL program; "incremental" compiles
         # supported shapes to Z-set circuits (repro.incremental) and
@@ -404,6 +417,11 @@ class DataCell:
         )
         # EXPLAIN ANALYZE renders the program under the query's name
         compiled.program.name = name
+        if self.verify:
+            raise_on_errors(
+                verify_continuous(compiled, self.catalog),
+                context=f"continuous query {name!r} failed verification",
+            )
         columns = []
         for col_name, atom in zip(compiled.output_names, compiled.output_atoms):
             out_name = "ts" if col_name.lower() == TIME_COLUMN else col_name
@@ -444,6 +462,11 @@ class DataCell:
             )
             stage.program.name = (
                 name if len(plan.stages) == 1 else f"{name}[{i}]"
+            )
+        if self.verify:
+            raise_on_errors(
+                verify_circuit(plan, self.catalog),
+                context=f"incremental circuit {name!r} failed verification",
             )
         columns = []
         for col_name, atom in zip(plan.names, plan.atoms):

@@ -376,8 +376,17 @@ class Factory:
             plan_cpu = 0.0
             now_mono = time.monotonic() if account is not None else 0.0
             ordered = self._lock_order()
-            for basket in ordered:
-                basket.lock.acquire()
+            acquired = []
+            try:
+                for basket in ordered:
+                    basket.lock.acquire()
+                    acquired.append(basket)
+            except BaseException:
+                # an observed lock may refuse the acquisition (strict
+                # lock-order recorder); don't leak the ones already held
+                for basket in reversed(acquired):
+                    basket.lock.release()
+                raise
             try:
                 snapshots: Dict[str, BasketSnapshot] = {}
                 origin_mono: Optional[float] = None

@@ -22,12 +22,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..errors import DataCellError
-from ..kernel.join import projection
 from ..kernel.mal import ResultSet
-from ..kernel.select import range_select
 from .basket import Basket, BasketSnapshot, TIME_COLUMN
 from .clock import Clock
 from .factory import (

@@ -10,9 +10,8 @@ Graphviz DOT.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Set, Tuple
 
-from .basket import Basket
 from .emitter import Emitter
 from .factory import Factory
 from .receptor import Receptor

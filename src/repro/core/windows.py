@@ -34,9 +34,8 @@ from __future__ import annotations
 
 import enum
 import math
-from collections import deque  # noqa: F401 (kept for SlidingWindowJoinPlan typing)
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -185,8 +185,15 @@ class DurabilityManager:
                 ),
                 key=lambda b: b.name.lower(),
             )
-            for basket in baskets:
-                basket.lock.acquire()
+            acquired = []
+            try:
+                for basket in baskets:
+                    basket.lock.acquire()
+                    acquired.append(basket)
+            except BaseException:
+                for basket in reversed(acquired):
+                    basket.lock.release()
+                raise
             try:
                 snapshot = CheckpointSnapshot(
                     checkpoint_id=checkpoint_id,

@@ -54,7 +54,7 @@ from .zset import ZSet
 
 from ..core.basket import BasketSnapshot, TIME_COLUMN
 from ..core.factory import ContinuousPlan, PlanOutput
-from ..core.windows import WindowMode, WindowSpec, _WindowAggregateBase
+from ..core.windows import WindowMode, _WindowAggregateBase
 
 __all__ = ["DeltaWindowAggregatePlan", "DeltaWindowJoinPlan"]
 

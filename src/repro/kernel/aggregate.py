@@ -15,7 +15,7 @@ that the incremental window executor keeps per basic window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 import numpy as np
@@ -122,29 +122,31 @@ def grouped_aggregate(
             out = BAT(AtomType.DBL, capacity=max(ngroups, 1))
             out.append_array(res)
             return out
-        return _store_numeric(bat.atom, sums, counts)
+        sum_atom = AtomType.LNG if bat.atom.is_integral else AtomType.DBL
+        return _store_numeric(sum_atom, sums, counts)
     if name in ("min", "max"):
         fill = np.inf if name == "min" else -np.inf
         res = np.full(ngroups, fill, dtype=np.float64)
         fn = np.minimum if name == "min" else np.maximum
         fn.at(res, gids[valid_mask], values[valid_mask])
+        # min/max preserve the input atom: the declared output column of a
+        # continuous GROUP BY is the input atom, and append_bat rejects
+        # any widening at the emitter boundary.
         return _store_numeric(bat.atom, res, counts)
     raise KernelError(f"unhandled aggregate {name!r}")  # pragma: no cover
 
 
 def _store_numeric(atom: AtomType, values: np.ndarray, counts: np.ndarray) -> BAT:
-    """Store per-group numeric results, NULLing empty groups."""
+    """Store per-group numeric results as ``atom``, NULLing empty groups."""
     empty = counts == 0
-    if atom.is_integral:
-        out = BAT(AtomType.LNG, capacity=max(len(values), 1))
-        stored = np.where(empty, 0, values).astype(np.int64)
-        stored[empty] = nil_value(AtomType.LNG)
-        out.append_array(stored)
-    else:
-        out = BAT(AtomType.DBL, capacity=max(len(values), 1))
+    out = BAT(atom, capacity=max(len(values), 1))
+    if atom in (AtomType.DBL, AtomType.TIMESTAMP):
         stored = values.astype(np.float64)
         stored[empty] = np.nan
-        out.append_array(stored)
+    else:
+        stored = np.where(empty, 0, values).astype(numpy_dtype(atom))
+        stored[empty] = nil_value(atom)
+    out.append_array(stored)
     return out
 
 

@@ -287,8 +287,16 @@ def calc_isnil(operand: BAT) -> BAT:
 
 
 def calc_neg(operand: BAT) -> BAT:
-    """Arithmetic negation (NULL-preserving)."""
-    return calc_binary("-", const_bat(0, operand), operand)
+    """Arithmetic negation (NULL-preserving, atom-preserving).
+
+    The zero constant is minted with the operand's own atom: a bare
+    ``const_bat(0, ...)`` would be LNG and ``common_type`` would widen
+    an INT column to LNG, which the emitter-boundary ``append_bat``
+    rejects against the compiler-declared (input-atom) output column.
+    """
+    if operand.atom is AtomType.STR:
+        raise TypeMismatchError("cannot negate a str column")
+    return calc_binary("-", const_bat(0, operand, atom=operand.atom), operand)
 
 
 def calc_ifthenelse(cond: BAT, then_val: Operand, else_val: Operand) -> BAT:

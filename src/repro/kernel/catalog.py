@@ -199,11 +199,20 @@ class Table:
 
 
 class Catalog:
-    """Name → table registry with case-insensitive lookup."""
+    """Name → table registry with case-insensitive lookup.
+
+    ``lock_observer`` is the dev/simtest lock-order seam: when set (any
+    object with ``wrap(name, lock) -> lock``, see
+    :class:`repro.analysis.lockorder.LockOrderRecorder`), every table
+    registered afterwards gets its lock wrapped so acquisitions feed the
+    acquisition-graph recorder.  The kernel stays ignorant of the
+    recorder's type — production runs carry a single ``None`` check.
+    """
 
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
         self._lock = threading.RLock()
+        self.lock_observer = None
 
     def create_table(
         self,
@@ -222,6 +231,8 @@ class Catalog:
             key = table.name.lower()
             if key in self._tables:
                 raise CatalogError(f"table {table.name!r} already exists")
+            if self.lock_observer is not None:
+                table.lock = self.lock_observer.wrap(key, table.lock)
             self._tables[key] = table
 
     def drop(self, name: str) -> None:

@@ -7,7 +7,6 @@ division by zero in :mod:`repro.kernel.calc`).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

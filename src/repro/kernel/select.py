@@ -18,7 +18,7 @@ import numpy as np
 
 from ..errors import KernelError
 from .bat import BAT
-from .candidates import from_mask, resolve_positions
+from .candidates import resolve_positions
 from .types import AtomType, coerce_scalar, nil_mask
 
 __all__ = ["range_select", "theta_select", "select_nil", "select_non_nil"]

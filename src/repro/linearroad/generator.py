@@ -16,16 +16,11 @@ vehicles.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..errors import LinearRoadError
-from .model import (
-    LANES,
-    NUM_SEGMENTS,
-    REPORT_INTERVAL,
-    PositionReport,
-)
+from .model import NUM_SEGMENTS, REPORT_INTERVAL, PositionReport
 
 __all__ = ["LinearRoadConfig", "LinearRoadGenerator"]
 

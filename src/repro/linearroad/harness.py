@@ -17,7 +17,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.basket import Basket
 from ..core.clock import LogicalClock
 from ..core.emitter import CollectingClient, Emitter
 from ..core.engine import DataCell

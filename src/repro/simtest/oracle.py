@@ -36,7 +36,6 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..adapters.channels import Channel, InMemoryChannel
 from ..baselines.reeval import NaiveReEvalWindow
-from ..core.clock import VirtualClock
 from ..core.continuous import ContinuousQuery
 from ..core.engine import DataCell
 from ..core.windows import WindowMode, WindowSpec

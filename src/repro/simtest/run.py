@@ -121,9 +121,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="engine execution mode for every episode "
         "(incremental = Z-set delta circuits)",
     )
+    parser.add_argument(
+        "--lock-order",
+        action="store_true",
+        help="install the acquisition-graph recorder "
+        "(repro.analysis.lockorder) for every episode; any lock-order "
+        "cycle counts as a failed run",
+    )
     args = parser.parse_args(argv)
     if args.seed is None:
         args.seed = current_seed()
+
+    recorder = None
+    if args.lock_order:
+        from ..analysis.lockorder import (
+            LockOrderRecorder,
+            set_global_recorder,
+        )
+
+        recorder = LockOrderRecorder(strict=False)
+        set_global_recorder(recorder)
 
     failures: List[str] = []
     shrunk_artifact = None
@@ -156,6 +173,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             }
             print(f"shrunk repro ({attempts} attempts):")
             print(f"  {shrunk_artifact['repro']}")
+    if recorder is not None:
+        from ..analysis.lockorder import set_global_recorder
+
+        set_global_recorder(None)
+        print(recorder.summary())
+        failures.extend(
+            f"lock-order violation: {message}"
+            for message in recorder.violations
+        )
     print(
         f"simtest: {args.episodes - len(failures)}/{args.episodes} "
         f"episodes passed (base seed {args.seed})"

@@ -12,7 +12,7 @@ continuous and normal/one-time queries").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple, Union
+from typing import Any, List, Optional, Tuple
 
 __all__ = [
     "Expr",

@@ -9,7 +9,7 @@ and atom type needed to resolve references and infer result types.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..errors import BindError
 from ..kernel.types import AtomType

@@ -53,7 +53,6 @@ from .ast_nodes import (
     TableSource,
     UnaryOp,
     UnionSelect,
-    walk_sources,
 )
 from .binder import BoundColumn, Relation
 
@@ -92,6 +91,17 @@ class CompiledQuery:
     @property
     def is_continuous(self) -> bool:
         return bool(self.basket_inputs)
+
+    def verify(self, catalog, expected_output=None):
+        """Run the static verifier over this plan; returns diagnostics.
+
+        Convenience wrapper over
+        :func:`repro.analysis.verifier.verify_continuous` (lazy import —
+        the compiler itself never depends on the analysis package).
+        """
+        from ..analysis.verifier import verify_continuous
+
+        return verify_continuous(self, catalog, expected_output)
 
 
 class MalContinuousPlan:
@@ -369,7 +379,6 @@ class _SelectCompiler:
         if source.kind == "cross" or source.condition is None:
             return self._cross_join(left, right)
         # Decompose the ON condition into equi pairs + residual.
-        combined = Relation(list(left.columns) + list(right.columns))
         eq = self._find_equi_pair(source.condition, left, right)
         if eq is None:
             rel = self._cross_join(left, right)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Iterator, List, Optional
+from typing import Any, List
 
 from ..errors import SqlSyntaxError
 
@@ -198,6 +198,6 @@ def _read_number(text: str, start: int, line: int, col: int):
     raw = text[start:i]
     try:
         value: Any = float(raw) if (seen_dot or seen_exp) else int(raw)
-    except ValueError:
-        raise SqlSyntaxError(f"bad numeric literal {raw!r}", line, col)
+    except ValueError as exc:
+        raise SqlSyntaxError(f"bad numeric literal {raw!r}", line, col) from exc
     return value, i - start

@@ -26,7 +26,7 @@ variables) are treated as live roots.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from ..kernel.mal import Arg, Const, Instr, Program, Var
 

@@ -1,0 +1,268 @@
+"""Static plan verifier: corpus, planted-bad programs, surfaced bugs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.corpus import (
+    GOOD_QUERIES,
+    planted_bad_cases,
+    run_good_corpus,
+)
+from repro.analysis.diagnostics import PlanVerificationError
+from repro.analysis.signatures import (
+    AbstractValue,
+    Kind,
+    registry_coverage,
+)
+from repro.analysis.verifier import verify_continuous, verify_program
+from repro.core.engine import DataCell
+from repro.kernel.aggregate import grouped_aggregate
+from repro.kernel.bat import BAT, bat_from_values
+from repro.kernel.calc import calc_neg
+from repro.kernel.mal import Instr, Var
+from repro.kernel.types import AtomType
+from repro.sql.compiler import compile_continuous
+from repro.sql.optimizer import eliminate_dead_code
+from repro.sql.parser import parse_select
+
+
+def _cell():
+    cell = DataCell()
+    cell.create_basket(
+        "trades",
+        [
+            ("price", AtomType.DBL),
+            ("qty", AtomType.INT),
+            ("sym", AtomType.STR),
+        ],
+    )
+    return cell
+
+
+class TestSignatureCatalog:
+    def test_signatures_cover_registry_exactly(self):
+        unsigned, unregistered = registry_coverage()
+        assert unsigned == (), f"registered opcodes missing signatures: {unsigned}"
+        assert unregistered == (), (
+            f"signed opcodes not in the interpreter registry "
+            f"(would fail mid-firing): {unregistered}"
+        )
+
+
+class TestGoodCorpus:
+    def test_zero_false_positives(self):
+        results = run_good_corpus()
+        rejected = [r for r in results if not r["registered"]]
+        assert rejected == []
+
+    def test_corpus_covers_both_execution_modes(self):
+        modes = {execution for _, _, execution in GOOD_QUERIES}
+        assert modes == {"reeval", "incremental"}
+
+
+class TestPlantedBad:
+    @pytest.mark.parametrize(
+        "name", sorted(planted_bad_cases())
+    )
+    def test_rejected_with_expected_rule(self, name):
+        builder, expected_rule = planted_bad_cases()[name]
+        diagnostics = builder()
+        errors = [d for d in diagnostics if d.is_error]
+        assert errors, f"{name}: no error diagnostics at all"
+        assert any(d.rule == expected_rule for d in errors), (
+            f"{name}: expected [{expected_rule}] among "
+            f"{[d.rule for d in errors]}"
+        )
+
+    def test_registration_rejects_with_anchored_diagnostic(self):
+        """A bad plan fails at submit time, anchored to a plan node."""
+        cell = _cell()
+        compiled = compile_continuous(
+            cell.catalog,
+            parse_select("select x.sym from [select * from trades] as x"),
+        )
+        # sabotage the compiled plan: reference a variable that does not
+        # exist (the classic mid-firing KeyError)
+        compiled.program.instructions.insert(
+            0,
+            Instr(
+                ("boom",), "algebra", "densecands", (Var("ghost"),), None
+            ),
+        )
+        compiled.program.instructions.insert(
+            1,
+            Instr(
+                ("boom2",), "algebra", "projection",
+                (Var("boom"), Var("ghost")), None,
+            ),
+        )
+        diags = verify_continuous(compiled, cell.catalog)
+        errors = [d for d in diags if d.is_error]
+        assert any(d.rule == "undefined-variable" for d in errors)
+        # instruction anchor survives into the rendered message
+        rendered = "\n".join(d.render() for d in errors)
+        assert "ghost" in rendered
+
+    def test_error_message_carries_node_path(self):
+        """Diagnostics on compiled instructions name the plan node."""
+        cell = _cell()
+        compiled = compile_continuous(
+            cell.catalog,
+            parse_select(
+                "select x.sym from [select * from trades] as x "
+                "where x.price > 1.0"
+            ),
+        )
+        # retype an input so the comparison inside `where` clashes
+        diags = verify_program(
+            compiled.program,
+            catalog=cell.catalog,
+            input_values={
+                "x.price": AbstractValue(kind=Kind.BAT, atom=AtomType.STR)
+            },
+        )
+        errors = [d for d in diags if d.is_error]
+        assert errors
+        assert any(d.node_path and "where" in d.node_path for d in errors)
+
+
+class TestDeadCodeCrossCheck:
+    def test_dead_warnings_match_optimizer_dce(self):
+        """The verifier's liveness and the optimizer's DCE agree."""
+        cell = _cell()
+        for _, sql, execution in GOOD_QUERIES:
+            if execution != "reeval" or "refs" in sql:
+                continue
+            compiled = compile_continuous(cell.catalog, parse_select(sql))
+            protected = [b.consumed_var for b in compiled.basket_inputs]
+            diags = verify_program(
+                compiled.program, protected=protected, check_dead=True
+            )
+            warned = sum(
+                1 for d in diags if d.rule == "dead-instruction"
+            )
+            _, removed = eliminate_dead_code(
+                compiled.program, protected=protected
+            )
+            assert warned == removed, sql
+
+    def test_no_dead_warnings_after_optimize(self):
+        cell = _cell()
+        q = cell.submit_continuous(
+            "select x.sym from [select * from trades] as x "
+            "where x.price > 2.0"
+        )
+        # the registered (optimized) program is warning-free
+        factory = next(
+            t for t in cell.scheduler.transitions() if t.name == q.name
+        )
+        program = factory.plan.compiled.program
+        diags = verify_program(
+            program,
+            catalog=cell.catalog,
+            protected=[
+                b.consumed_var
+                for b in factory.plan.compiled.basket_inputs
+            ],
+        )
+        assert [d for d in diags if d.rule == "dead-instruction"] == []
+        cell.stop()
+
+
+class TestEmitterBoundary:
+    def test_registration_fails_fast_on_type_clash(self):
+        """Declared-vs-computed output atom mismatch rejects at submit."""
+        cell = _cell()
+        compiled = compile_continuous(
+            cell.catalog,
+            parse_select(
+                "select x.qty from [select * from trades] as x"
+            ),
+        )
+        compiled.output_atoms[0] = AtomType.STR  # sabotage the contract
+        diags = verify_continuous(compiled, cell.catalog)
+        errors = [d for d in diags if d.is_error]
+        assert any(d.rule == "emitter-boundary" for d in errors)
+
+    def test_engine_raises_plan_verification_error(self, monkeypatch):
+        cell = _cell()
+        import repro.core.engine as engine_mod
+
+        real = engine_mod.compile_continuous
+
+        def sabotage(catalog, stmt):
+            compiled = real(catalog, stmt)
+            # miscompile the interface: declared output atom no longer
+            # matches what the plan computes (STR column declared INT)
+            compiled.output_atoms[0] = AtomType.INT
+            return compiled
+
+        monkeypatch.setattr(engine_mod, "compile_continuous", sabotage)
+        with pytest.raises(PlanVerificationError) as excinfo:
+            cell.submit_continuous(
+                "select x.sym from [select * from trades] as x"
+            )
+        assert "emitter-boundary" in str(excinfo.value)
+        cell.stop()
+
+
+class TestSurfacedBugs:
+    """Regression tests for real bugs the verifier's rules exposed."""
+
+    def test_grouped_min_max_preserve_int_atom(self):
+        """grouped min/max over INT must stay INT (was widened to LNG)."""
+        values = bat_from_values(AtomType.INT, [5, 3, 9, 1])
+        groups = BAT(AtomType.OID)
+        groups.append_array(np.array([0, 0, 1, 1], dtype=np.int64))
+        out = grouped_aggregate("min", values, groups, 2)
+        assert out.atom is AtomType.INT
+        assert list(out.tail) == [3, 1]
+        out = grouped_aggregate("max", values, groups, 2)
+        assert out.atom is AtomType.INT
+        assert list(out.tail) == [5, 9]
+
+    def test_grouped_min_preserves_timestamp_atom(self):
+        values = bat_from_values(AtomType.TIMESTAMP, [5.0, 3.0, 9.0])
+        groups = BAT(AtomType.OID)
+        groups.append_array(np.array([0, 0, 0], dtype=np.int64))
+        out = grouped_aggregate("min", values, groups, 1)
+        assert out.atom is AtomType.TIMESTAMP
+
+    def test_grouped_sum_still_widens_to_lng(self):
+        values = bat_from_values(AtomType.INT, [5, 3])
+        groups = BAT(AtomType.OID)
+        groups.append_array(np.array([0, 0], dtype=np.int64))
+        out = grouped_aggregate("sum", values, groups, 1)
+        assert out.atom is AtomType.LNG
+        assert list(out.tail) == [8]
+
+    def test_continuous_group_by_min_int_fires(self):
+        """End to end: the shape that used to die mid-firing."""
+        cell = _cell()
+        q = cell.submit_continuous(
+            "select x.sym, min(x.qty), max(x.qty) from "
+            "[select * from trades] as x group by x.sym"
+        )
+        cell.insert("trades", [(1.0, 7, "a"), (2.0, 3, "a"), (3.0, 9, "b")])
+        cell.run_until_quiescent()
+        rows = {r[0]: r[1:] for r in q.fetch()}
+        assert rows["a"] == (3, 7)
+        assert rows["b"] == (9, 9)
+        cell.stop()
+
+    def test_unary_neg_preserves_int_atom(self):
+        """calc_neg must not widen INT to LNG via its zero constant."""
+        values = bat_from_values(AtomType.INT, [5, -3])
+        out = calc_neg(values)
+        assert out.atom is AtomType.INT
+        assert list(out.tail) == [-5, 3]
+
+    def test_continuous_unary_minus_fires(self):
+        cell = _cell()
+        q = cell.submit_continuous(
+            "select x.sym, -x.qty from [select * from trades] as x"
+        )
+        cell.insert("trades", [(1.0, 7, "a")])
+        cell.run_until_quiescent()
+        assert q.fetch() == [("a", -7)]
+        cell.stop()

@@ -1,9 +1,7 @@
 """Tests for the benchmark harness helpers (runner, reporting, summary)."""
 
 import json
-import os
 
-import pytest
 
 from repro.bench.reporting import print_table, record_result
 from repro.bench.runner import (

@@ -8,10 +8,7 @@ the paper's q1/q2 basket-expression semantics verbatim (§2.6).
 import pytest
 
 from repro import DataCell, LogicalClock, WindowMode, WindowSpec
-from repro.core.basket import Basket
 from repro.errors import BindError, CatalogError, DataCellError, SqlError
-from repro.kernel.mal import ResultSet
-from repro.kernel.types import AtomType
 
 
 @pytest.fixture

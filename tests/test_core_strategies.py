@@ -104,7 +104,7 @@ class TestShared:
     def test_readers_registered(self):
         clock = LogicalClock()
         stream = Basket("s", [("v", AtomType.INT)], clock)
-        net = build_shared_pipeline(stream, DISJOINT, clock)
+        build_shared_pipeline(stream, DISJOINT, clock)
         assert sorted(stream.readers()) == ["q1", "q2", "q3"]
 
 

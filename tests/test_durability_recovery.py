@@ -8,7 +8,6 @@ rows in flight at the crash are delivered after recovery (WAL replay),
 and nothing is lost or invented.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.engine import DataCell

@@ -2,11 +2,11 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import AlignmentError, KernelError, TypeMismatchError
-from repro.kernel.bat import BAT, bat_from_values, check_aligned, empty_bat
+from repro.kernel.bat import bat_from_values, check_aligned, empty_bat
 from repro.kernel.types import AtomType
 
 

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.errors import KernelError, MalError
+from repro.errors import KernelError
 from repro.kernel.bat import bat_from_values
 from repro.kernel.candidates import (
     all_candidates,

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import AlignmentError, CatalogError
 from repro.kernel.catalog import Catalog, ColumnDef, Schema, Table
-from repro.kernel.bat import BAT, bat_from_values
+from repro.kernel.bat import bat_from_values
 from repro.kernel.types import AtomType
 
 

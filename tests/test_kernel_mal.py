@@ -1,6 +1,5 @@
 """Unit tests for MAL programs, the interpreter, and Algorithm 1 fidelity."""
 
-import numpy as np
 import pytest
 
 from repro.errors import MalError
@@ -138,9 +137,7 @@ class TestInterpreter:
     def test_multi_result_instruction(self, catalog):
         p = Program()
         col = p.emit("sql", "bind", [Const("readings"), Const("sensor")])
-        names = p.emit(
-            "group", "group", [Var(col)], results=("grp", "ext", "n")
-        )
+        p.emit("group", "group", [Var(col)], results=("grp", "ext", "n"))
         env = MalInterpreter(catalog).execute(p)
         assert env["n"] == 3
 
@@ -187,8 +184,8 @@ class TestAlgorithmOne:
         inp.append_rows([(5,), (15,), (25,)])
 
         p = Program(name="simple_select_factory")
-        b_in = p.emit("basket", "bind", [Const("x")], results=["input"])
-        b_out = p.emit("basket", "bind", [Const("y")], results=["output"])
+        p.emit("basket", "bind", [Const("x")], results=["input"])
+        p.emit("basket", "bind", [Const("y")], results=["output"])
         p.emit("basket", "lock", [Var("input")], results=["li"])
         p.emit("basket", "lock", [Var("output")], results=["lo"])
         col = p.emit("basket", "snapshot", [Var("input"), Const("v")])

@@ -1,6 +1,5 @@
 """Unit tests for the kernel atom-type system."""
 
-import math
 
 import numpy as np
 import pytest

@@ -4,7 +4,6 @@ import json
 import os
 import time
 
-import pytest
 
 from repro import DataCell, MetricsRegistry
 from repro.bench.reporting import record_result

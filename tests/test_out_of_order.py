@@ -7,7 +7,6 @@ arrival order or batch boundaries.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,10 +5,8 @@ random table; the compiled MAL plan must agree with direct evaluation of
 the same predicate in python (NULL-aware three-valued logic included).
 """
 
-import math
 import operator
 
-import pytest
 from hypothesis import given, seed, settings
 from hypothesis import strategies as st
 

@@ -10,12 +10,7 @@ cursors, GC, and shedding interact in ways unit tests undersample.
 import numpy as np
 from hypothesis import seed, settings
 from hypothesis import strategies as st
-from hypothesis.stateful import (
-    RuleBasedStateMachine,
-    invariant,
-    precondition,
-    rule,
-)
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.core.basket import Basket
 from repro.core.clock import LogicalClock
@@ -204,7 +199,6 @@ class SchedulerNetworkModel(RuleBasedStateMachine):
 
     @invariant()
     def no_tuple_lost(self):
-        in_flight = sum(stage.count for stage in self.stages)
         delivered = self.stages[-1].total_in
         buffered_early = sum(s.count for s in self.stages[:-1])
         # every pushed tuple is either still flowing or reached the sink

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import DataCell, LogicalClock
-from repro.errors import BindError, SqlSyntaxError, TypeMismatchError
+from repro.errors import BindError, TypeMismatchError
 from repro.kernel.bat import bat_from_values
 from repro.kernel.mathops import math_unary
 from repro.kernel.strings import (
@@ -236,7 +236,7 @@ class TestOptimizer:
 
         p = Program()
         a = p.emit("language", "pass", [Const(1)])
-        b = p.emit("language", "pass", [Const(2)], results=["keepme"])
+        p.emit("language", "pass", [Const(2)], results=["keepme"])
         p.output = a
         pruned, removed = eliminate_dead_code(p, protected=["keepme"])
         names = {r for ins in pruned.instructions for r in ins.results}
@@ -257,7 +257,7 @@ class TestOptimizer:
         from repro.kernel.mal import Const, Program
 
         p = Program()
-        a = p.emit("language", "pass", [Const(5)])
+        p.emit("language", "pass", [Const(5)])
         b = p.emit("language", "pass", [Const(5)])
         p.output = b
         merged, count = eliminate_common_subexpressions(p)

@@ -17,8 +17,6 @@ from repro.sql.ast_nodes import (
     Insert,
     IsNull,
     JoinSource,
-    Literal,
-    Select,
     Star,
     SubquerySource,
     TableSource,

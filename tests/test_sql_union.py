@@ -3,7 +3,7 @@
 import pytest
 
 from repro import DataCell, LogicalClock
-from repro.errors import BindError, SqlError
+from repro.errors import BindError
 
 
 @pytest.fixture
