@@ -1,0 +1,195 @@
+"""Experiment SRV — network front door soak: N clients × M queries.
+
+The server's acceptance claim: under the lossless ``block`` policy, a
+sustained many-client load runs with **zero dropped frames**, and the
+insert→deliver latency tail stays bounded.  The bench boots one engine
+with M continuous queries — one per input basket, because SQL factories
+consume their inputs (§2.5: distinct queries over one basket *compete*
+for tuples; fan-out to many clients happens at the emitter) — connects
+N concurrent TCP clients that all subscribe to all M queries, and has
+every client run a closed loop: insert a batch of rows tagged
+``(client, batch)`` into each basket, then wait until its own rows come
+back on every subscription.  Each ``(client, query, batch)`` round trip
+is one latency sample, measured from just before the INSERT frame is
+written to the moment the last row of the batch is decoded from the
+subscription — the full wire → ingest queue → pump → basket → factory →
+emitter → session queue → wire path.
+
+Because every client receives *all* clients' rows on all M queries, the
+delivered volume is N×M times the per-basket insert volume — the
+fan-out soak the per-client output queues exist for.
+
+Reported to ``BENCH_server.json`` (folded into docs/perf_trajectory.md):
+``SRV_soak`` — clients, queries, duration, rows in/out, insert→deliver
+p50/p95/p99 ms, dropped frames (must be 0 under block), throughput.
+
+CLI::
+
+    PYTHONPATH=src python benchmarks/bench_server_soak.py \\
+        --clients 50 --queries 4 --seconds 60
+"""
+
+import argparse
+import threading
+import time
+
+import numpy as np
+
+from repro.bench import print_table, record_bench_server
+from repro.core.engine import DataCell
+from repro.kernel.types import AtomType
+from repro.server.client import DataCellClient
+from repro.server.session import ServerConfig
+
+COLUMNS = [
+    ("client", AtomType.INT),
+    ("batch", AtomType.INT),
+    ("v", AtomType.INT),
+]
+
+
+def client_loop(
+    cid, host, port, queries, batch_rows, deadline, samples, errors
+):
+    """One closed-loop client; appends latency samples (seconds)."""
+    try:
+        with DataCellClient(
+            host, port, client=f"soak-{cid}", timeout=30.0
+        ) as db:
+            for name, _ in queries:
+                db.subscribe(query=name)
+            batch = 0
+            while time.monotonic() < deadline:
+                t0 = time.perf_counter()
+                for _, basket in queries:
+                    db.insert(
+                        basket,
+                        COLUMNS,
+                        [(cid, batch, i) for i in range(batch_rows)],
+                    )
+                waiting = {name: batch_rows for name, _ in queries}
+                while waiting:
+                    for name in list(waiting):
+                        for row in db.poll(name, timeout=30.0):
+                            if row[0] == cid and row[1] == batch:
+                                waiting[name] -= 1
+                        if waiting[name] <= 0:
+                            samples.append(time.perf_counter() - t0)
+                            del waiting[name]
+                batch += 1
+            for name, _ in queries:
+                db.unsubscribe(name)
+    except Exception as exc:  # noqa: BLE001 - soak verdict needs the cause
+        errors.append(f"client {cid}: {type(exc).__name__}: {exc}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--clients", type=int, default=50)
+    parser.add_argument("--queries", type=int, default=4)
+    parser.add_argument("--seconds", type=float, default=60.0)
+    parser.add_argument("--batch-rows", type=int, default=8)
+    parser.add_argument(
+        "--backpressure", default="block",
+        help="queue policy under test (default block = lossless)",
+    )
+    args = parser.parse_args()
+
+    cell = DataCell()
+    queries = []  # (query name, basket name)
+    for i in range(args.queries):
+        basket = f"soak{i}"
+        cell.execute(
+            f"create basket {basket} (client int, batch int, v int)"
+        )
+        handle = cell.submit_continuous(
+            "select s.client, s.batch, s.v from "
+            f"[select * from {basket} where {basket}.v >= 0] as s",
+            name=f"soak_q{i}",
+        )
+        queries.append((handle.name, basket))
+    cell.start()
+    server = cell.serve(
+        config=ServerConfig(backpressure=args.backpressure)
+    )
+    host, port = server.address
+    print(
+        f"soaking {args.clients} clients x {args.queries} queries "
+        f"for {args.seconds:.0f}s on {host}:{port} "
+        f"(policy={args.backpressure})"
+    )
+
+    samples, errors = [], []
+    deadline = time.monotonic() + args.seconds
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(
+            target=client_loop,
+            args=(cid, host, port, queries, args.batch_rows,
+                  deadline, samples, errors),
+            name=f"soak-client-{cid}",
+        )
+        for cid in range(args.clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - started
+
+    stats = server.stats()
+    dropped = stats["dropped_frames"] + sum(
+        s.get("dropped_frames", 0) for s in stats["sessions"].values()
+    )
+    rows_in = stats["ingest"]["applied_rows"]
+    lat = np.asarray(sorted(samples), dtype=np.float64) * 1000.0
+    p50, p95, p99 = (
+        (float(np.percentile(lat, q)) for q in (50, 95, 99))
+        if len(lat)
+        else (0.0, 0.0, 0.0)
+    )
+    cell.stop()
+
+    for message in errors:
+        print(f"CLIENT ERROR: {message}")
+    verdict = "PASS" if not errors and (
+        args.backpressure != "block" or dropped == 0
+    ) else "FAIL"
+    print_table(
+        f"Server soak ({verdict})",
+        ["clients", "queries", "secs", "rows_in", "round_trips",
+         "p50_ms", "p95_ms", "p99_ms", "dropped"],
+        [[args.clients, args.queries, round(elapsed, 1), rows_in,
+          len(samples), round(p50, 2), round(p95, 2), round(p99, 2),
+          dropped]],
+    )
+    record_bench_server(
+        "SRV_soak",
+        {
+            "claim": (
+                "N clients x M queries soak: zero dropped frames under "
+                "the block policy, bounded insert->deliver tail"
+            ),
+            "clients": args.clients,
+            "queries": args.queries,
+            "seconds": round(elapsed, 2),
+            "batch_rows": args.batch_rows,
+            "backpressure": args.backpressure,
+            "rows_ingested": int(rows_in),
+            "round_trips": len(samples),
+            "p50_ms": round(p50, 3),
+            "p95_ms": round(p95, 3),
+            "p99_ms": round(p99, 3),
+            "dropped_frames": int(dropped),
+            "rows_per_second": (
+                round(rows_in / elapsed, 1) if elapsed else 0.0
+            ),
+            "errors": errors,
+        },
+    )
+    if verdict == "FAIL":
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -131,6 +131,9 @@ class WallClockRule(Rule):
         "*repro/testing.py",
         "*simtest/*",
         "*analysis/*",
+        # the network front door reports wall-clock session timestamps
+        # to clients (HELLO_OK server_time) — engine state never sees it
+        "*server/server.py",
     )
     _banned = {
         "time.time": "use the Clock seam (core/clock.py), not time.time()",

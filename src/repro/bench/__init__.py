@@ -5,6 +5,7 @@ from .reporting import (
     print_table,
     record_bench_fig1,
     record_bench_incremental,
+    record_bench_server,
     record_result,
 )
 from .runner import (
@@ -23,5 +24,6 @@ __all__ = [
     "print_table",
     "record_bench_fig1",
     "record_bench_incremental",
+    "record_bench_server",
     "record_result",
 ]

@@ -24,9 +24,11 @@ __all__ = [
     "record_result",
     "record_bench_fig1",
     "record_bench_incremental",
+    "record_bench_server",
     "RESULTS_PATH",
     "BENCH_FIG1_PATH",
     "BENCH_INCREMENTAL_PATH",
+    "BENCH_SERVER_PATH",
 ]
 
 RESULTS_PATH = str(
@@ -43,6 +45,12 @@ BENCH_FIG1_PATH = str(
 #: re-evaluation — the delta-window speedup series and join parity.
 BENCH_INCREMENTAL_PATH = str(
     pathlib.Path(__file__).resolve().parents[3] / "BENCH_incremental.json"
+)
+
+#: CI artifact at the repo root: the network front door's soak numbers
+#: (N clients × M queries, insert→deliver latency percentiles, drops).
+BENCH_SERVER_PATH = str(
+    pathlib.Path(__file__).resolve().parents[3] / "BENCH_server.json"
 )
 
 
@@ -135,3 +143,14 @@ def record_bench_incremental(experiment: str, payload: Dict[str, Any]) -> None:
     ``docs/perf_trajectory.md`` by ``scripts/bench_trajectory.py``.
     """
     record_result(experiment, payload, path=BENCH_INCREMENTAL_PATH)
+
+
+def record_bench_server(experiment: str, payload: Dict[str, Any]) -> None:
+    """Record one experiment into the repo-root ``BENCH_server.json``.
+
+    Same merge-and-rename semantics as :func:`record_result`; carries
+    the server soak series (p99 insert→deliver latency, drop counts)
+    folded into ``docs/perf_trajectory.md`` by
+    ``scripts/bench_trajectory.py``.
+    """
+    record_result(experiment, payload, path=BENCH_SERVER_PATH)

@@ -8,6 +8,7 @@ the final Petri-net transition of the query chain.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, List, Optional, Tuple
 
@@ -68,10 +69,17 @@ class Emitter:
         # exactly-once mechanism.  -1 = nothing delivered yet.
         self.high_water_seq = -1
         self.wal_sink = None
+        # subscriber lists are copy-on-write under _sub_lock: activate()
+        # reads one immutable snapshot per firing, so a network session
+        # may subscribe/unsubscribe concurrently with deliveries without
+        # ever mutating a list a firing is iterating
+        self._sub_lock = threading.Lock()
         self._clients: List[ClientCallback] = []
         self._channels: List[Channel] = []
         self.total_delivered = 0
         self.activations = 0
+        self.channels_detached = 0
+        self.deliveries_dropped = 0
         self.metrics = metrics if metrics is not None else default_registry()
         self.tracer = tracer
         self._tracing = tracer is not None and tracer.enabled
@@ -87,16 +95,55 @@ class Emitter:
             "Monotonic insert-to-emit latency of delivered tuples",
             ("query",),
         ).labels(source.name)
+        self._m_dropped = self.metrics.counter(
+            "datacell_emitter_dropped_total",
+            "Rows shed by subscriber-side bounded queues instead of "
+            "delivered",
+            ("emitter",),
+        ).labels(name)
         self._measure_latency = self.metrics.enabled
 
     # ------------------------------------------------------------------
     def subscribe(self, client: ClientCallback) -> None:
         """Add a callback client."""
-        self._clients.append(client)
+        with self._sub_lock:
+            self._clients = self._clients + [client]
 
     def subscribe_channel(self, channel: Channel) -> None:
         """Add a channel client (textual delivery)."""
-        self._channels.append(channel)
+        with self._sub_lock:
+            self._channels = self._channels + [channel]
+
+    def unsubscribe(self, client: ClientCallback) -> bool:
+        """Remove a callback client; True iff it was subscribed.
+
+        Safe while firings are in flight: a firing that already took its
+        subscriber snapshot may deliver one final batch to the removed
+        client; no later firing will.
+        """
+        with self._sub_lock:
+            if client not in self._clients:
+                return False
+            remaining = list(self._clients)
+            remaining.remove(client)
+            self._clients = remaining
+            return True
+
+    def unsubscribe_channel(self, channel: Channel) -> bool:
+        """Remove a channel client; True iff it was subscribed."""
+        with self._sub_lock:
+            if channel not in self._channels:
+                return False
+            remaining = list(self._channels)
+            remaining.remove(channel)
+            self._channels = remaining
+            return True
+
+    def note_dropped(self, count: int) -> None:
+        """Subscriber-side drop accounting (a bounded client queue shed
+        ``count`` rows instead of delivering them)."""
+        self.deliveries_dropped += count
+        self._m_dropped.inc(count)
 
     @property
     def subscriber_count(self) -> int:
@@ -137,9 +184,16 @@ class Emitter:
             else None
         )
         rows = self._project(snapshot, fresh_positions)
-        for client in self._clients:
+        clients, channels = self._clients, self._channels
+        for client in clients:
             client(rows)
-        for channel in self._channels:
+        for channel in channels:
+            if channel.closed:
+                # a dead peer (disconnected session, closed adapter)
+                # detaches instead of poisoning every later firing
+                if self.unsubscribe_channel(channel):
+                    self.channels_detached += 1
+                continue
             for row in rows:
                 channel.push(format_tuple(row))
         if span is not None:

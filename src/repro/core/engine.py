@@ -169,6 +169,8 @@ class DataCell:
         # self-monitoring (opt-in): the sys.* streams and the HTTP door
         self.sys: Optional[TelemetrySampler] = None
         self.httpd: Optional[TelemetryServer] = None
+        # the network front door (opt-in via serve())
+        self.server: Optional[Any] = None
         if system_streams:
             self.enable_system_streams(
                 system_streams
@@ -798,18 +800,61 @@ class DataCell:
 
     def stop(self, timeout: float = 5.0) -> List[str]:
         """Stop threaded mode; returns names of threads that failed to
-        join within ``timeout`` (empty on clean shutdown).  With
-        durability enabled the checkpointer thread is stopped and the
-        WAL is fsynced to disk regardless of fsync policy.  A running
-        telemetry HTTP server is shut down too."""
+        join within ``timeout`` (empty on clean shutdown).
+
+        Shutdown order matters and is fixed (see ``docs/server.md``):
+
+        1. **server** — stop accepting, drain client output queues,
+           close sockets, then unregister the ingest pump.  Whatever
+           the pump applied before this point is WAL-logged; whatever
+           was still queued is unacknowledged and simply dropped.
+        2. **scheduler** — join factory/emitter/receptor threads, so no
+           basket mutates after this returns.
+        3. **durability** — stop the checkpointer and fsync the WAL
+           tail; runs after the scheduler so the flushed log covers
+           every applied firing.
+        4. **httpd** — the telemetry endpoint goes last; it only reads.
+        """
+        if self.server is not None:
+            self.trace.record("shutdown", "engine", stage="server")
+            self.server.close(timeout)
+            self.server = None
+        self.trace.record("shutdown", "engine", stage="scheduler")
         leftovers = self.scheduler.stop(timeout)
         if self.durability is not None:
+            self.trace.record("shutdown", "engine", stage="durability")
             self.durability.stop_checkpointer(timeout)
             self.durability.flush()
         if self.httpd is not None:
+            self.trace.record("shutdown", "engine", stage="httpd")
             self.httpd.close(timeout)
             self.httpd = None
         return leftovers
+
+    # ------------------------------------------------------------------
+    # the network front door (repro.server)
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[Any] = None,
+    ) -> Any:
+        """Start (or return) the network front door.
+
+        Binds an asyncio TCP listener (port ``0`` = any free port; see
+        ``cell.server.address`` for the resolved one) speaking the
+        :mod:`repro.server.protocol` frame format, with a WebSocket
+        upgrade on the same port.  The engine should also be running in
+        threaded mode (:meth:`start`) so ingest and queries fire.
+        """
+        if self.server is None:
+            from ..server import DataCellServer
+
+            self.server = DataCellServer(
+                self, host=host, port=port, config=config
+            ).start()
+        return self.server
 
     # ------------------------------------------------------------------
     # self-monitoring surface (system streams, alerts, HTTP endpoint)
@@ -997,6 +1042,8 @@ class DataCell:
                 "url": self.httpd.url,
                 "requests": self.httpd.requests_served,
             }
+        if self.server is not None:
+            out["server"] = self.server.stats()
         if self.resources.enabled:
             out["resources"] = self.resources.stats()
         return out

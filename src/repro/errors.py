@@ -68,6 +68,15 @@ class AdapterError(ReproError):
     """A receptor/emitter adapter failed (bad event text, channel closed)."""
 
 
+class ServerError(DataCellError):
+    """Network front-door failure (session violation, bad command...)."""
+
+
+class ProtocolError(ServerError):
+    """A wire frame violated the repro.server protocol (bad CRC, bad
+    opcode, malformed metadata or column payload)."""
+
+
 class ObservabilityError(ReproError):
     """Misuse of the metrics/tracing subsystem (bad labels, bad buckets)."""
 

@@ -196,6 +196,39 @@ def render_dashboard(
                 [(n, int(f)) for n, f in sorted(alerts.items())],
             ))
 
+    server_section = stats.get("server")
+    if server_section:
+        ingest = server_section.get("ingest", {})
+        sessions = server_section.get("sessions", {})
+        rows = [
+            (
+                sid,
+                s.get("tenant", "?"),
+                s.get("subscriptions", 0),
+                s.get("rows_in", 0),
+                s.get("rows_out", 0),
+                s.get("dropped_frames", 0),
+                s.get("queue_depth", 0),
+            )
+            for sid, s in sorted(sessions.items())
+        ]
+        sections.append(format_table(
+            f"Server ({server_section.get('address')} "
+            f"policy={server_section.get('backpressure')} "
+            f"ingested={ingest.get('applied_rows', 0)} "
+            f"pending={ingest.get('pending_batches', 0)})",
+            ["session", "tenant", "subs", "rows_in", "rows_out",
+             "dropped", "queued"],
+            rows,
+        ))
+        throttled = server_section.get("throttled_tenants") or {}
+        if throttled:
+            sections.append(format_table(
+                "Throttled tenants",
+                ["tenant", "remaining_s"],
+                sorted(throttled.items()),
+            ))
+
     http_section = stats.get("http")
     if http_section:
         sections.append(

@@ -300,6 +300,9 @@ class ResourceAccountant:
         self._accounts: Dict[str, QueryResourceAccount] = {}
         self._by_transition: Dict[str, QueryResourceAccount] = {}
         self.budgets: Dict[str, ResourceBudget] = {}
+        # engine-level breach observers (the network front door uses
+        # this to throttle over-budget tenants at the socket)
+        self._breach_listeners: List[Callable[..., Any]] = []
         m = self.metrics
         self._m_cpu = m.counter(
             "datacell_query_cpu_seconds_total",
@@ -572,8 +575,22 @@ class ResourceAccountant:
                 self._m_breaches.labels(budget.name).inc()
                 if budget.callback is not None:
                     budget.callback(budget, record)
+                for listener in list(self._breach_listeners):
+                    listener(budget, record)
                 fired.append(record)
         return fired
+
+    def add_breach_listener(
+        self, listener: Callable[[ResourceBudget, Dict[str, Any]], None]
+    ) -> None:
+        """Register an engine-level observer fired on every budget
+        breach (after the budget's own callback)."""
+        if listener not in self._breach_listeners:
+            self._breach_listeners.append(listener)
+
+    def remove_breach_listener(self, listener: Callable[..., Any]) -> None:
+        if listener in self._breach_listeners:
+            self._breach_listeners.remove(listener)
 
     # ------------------------------------------------------------------
     # reading

@@ -1,0 +1,51 @@
+"""repro.server — the DataCell's network front door (ROADMAP item 4).
+
+The paper's receptors and emitters are explicitly network-facing: the
+periphery "listens" for incoming stream tuples and "delivers" results to
+registered clients.  This package gives the reproduction that transport:
+
+* :mod:`repro.server.protocol` — the framed wire format (CRC frames from
+  :mod:`repro.durability.serde`, columnar tuple payloads, JSON metadata);
+* :mod:`repro.server.session` — per-client state: the bounded output
+  queue with the block / drop-oldest / disconnect backpressure dial, and
+  the subscription binding that attaches a session to an
+  :class:`~repro.core.emitter.Emitter`;
+* :mod:`repro.server.ingest` — the single ingest-queue seam bridging the
+  asyncio loop to the threaded (or simulated) scheduler;
+* :mod:`repro.server.server` — the asyncio TCP listener with a thin
+  WebSocket upgrade on the same framing, plus tenant admission control
+  wired into :class:`~repro.obs.resources.ResourceBudget` breaches;
+* :mod:`repro.server.client` — the synchronous library/CLI client used
+  by tests and benchmarks.
+
+See ``docs/server.md`` for the protocol reference.
+"""
+
+from .client import DataCellClient
+from .ingest import IngestQueue, ServerIngestPump
+from .protocol import (
+    PROTOCOL_VERSION,
+    Command,
+    FrameDecoder,
+    Message,
+    decode_payload,
+    encode_message,
+)
+from .server import DataCellServer
+from .session import BackpressurePolicy, ClientSession, ServerConfig
+
+__all__ = [
+    "BackpressurePolicy",
+    "ClientSession",
+    "Command",
+    "DataCellClient",
+    "DataCellServer",
+    "FrameDecoder",
+    "IngestQueue",
+    "Message",
+    "PROTOCOL_VERSION",
+    "ServerConfig",
+    "ServerIngestPump",
+    "decode_payload",
+    "encode_message",
+]

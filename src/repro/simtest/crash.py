@@ -104,6 +104,10 @@ class CrashSpec:
     #: and delta-window state rides the same checkpoint/WAL machinery,
     #: so kill-and-restart must be byte-identical on both routes
     execution: str = "reeval"
+    #: ingest through the server's wire seam (frame encode/decode +
+    #: ingest queue + pump) instead of a receptor — recovery must be
+    #: byte-identical with the network front door attached too
+    via_server: bool = False
 
     def input_events(self) -> List[InputEvent]:
         events = []
@@ -152,7 +156,7 @@ def render_crash_repro(spec: CrashSpec) -> str:
         f"fsync={spec.fsync!r}, window={spec.window}, "
         f"window_aggregate={spec.window_aggregate!r}, "
         f"sampling={spec.sampling}, execution={spec.execution!r}, "
-        f"rows={list(spec.rows)!r})"
+        f"via_server={spec.via_server}, rows={list(spec.rows)!r})"
     )
 
 
@@ -193,7 +197,15 @@ def _build(
     else:
         cell.create_basket(STREAM, COLUMNS)
     channel = InMemoryChannel(CHANNEL)
-    cell.add_receptor("tap", [STREAM], channel=channel)
+    if spec.via_server:
+        from .server_episode import attach_server_ingress
+
+        columns = (
+            [("v", AtomType.INT)] if spec.case == "window" else COLUMNS
+        )
+        attach_server_ingress(cell, channel, STREAM, columns)
+    else:
+        cell.add_receptor("tap", [STREAM], channel=channel)
     sim.bind_channel(CHANNEL, channel)
     if spec.case == "window":
         size, slide = spec.window
@@ -340,6 +352,8 @@ def crash_episode_spec(index: int, base_seed: int) -> CrashSpec:
         # every third episode exercises the incremental route, so circuit
         # and delta-window state recovery is continuously gated
         execution="incremental" if index % 3 == 2 else "reeval",
+        # every 5th episode ingests through the server's wire seam
+        via_server=(index % 5 == 3),
     )
 
 

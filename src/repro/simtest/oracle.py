@@ -135,6 +135,10 @@ class EpisodeSpec:
     #: or "incremental" (Z-set circuits, repro.incremental) — the oracle
     #: claim is route-independent, so both must pass every episode
     execution: str = "reeval"
+    #: ingest path: False = receptor (in-process), True = the network
+    #: front door's wire seam (encode → decode → ingest queue → pump,
+    #: see simtest.server_episode) — the claim is path-independent too
+    via_server: bool = False
 
     def fault_plan(self) -> Optional[FaultPlan]:
         if self.batch_fault_rate <= 0 and self.exception_rate <= 0:
@@ -216,7 +220,12 @@ def run_streaming(
     channel: Channel = InMemoryChannel(CHANNEL)
     if faults is not None:
         channel = FaultableChannel(channel, faults, sim.clock)
-    cell.add_receptor("tap", [STREAM], channel=channel)
+    if spec.via_server:
+        from .server_episode import attach_server_ingress
+
+        attach_server_ingress(cell, channel, STREAM, COLUMNS)
+    else:
+        cell.add_receptor("tap", [STREAM], channel=channel)
     sim.bind_channel(CHANNEL, channel)
     handle = cell.submit_continuous(
         case.continuous_sql, execution=spec.execution
@@ -329,7 +338,8 @@ def render_repro(spec: EpisodeSpec) -> str:
         f"time_step={spec.time_step}, "
         f"batch_fault_rate={spec.batch_fault_rate}, "
         f"exception_rate={spec.exception_rate}, "
-        f"execution={spec.execution!r}, rows={list(spec.rows)!r})"
+        f"execution={spec.execution!r}, via_server={spec.via_server}, "
+        f"rows={list(spec.rows)!r})"
     )
 
 

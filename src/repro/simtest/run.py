@@ -49,7 +49,11 @@ def _episode_spec(
 ) -> EpisodeSpec:
     seed = base_seed + index
     rng = random.Random(f"datacell-episode:{seed}")
-    policies = list(policy_names()) + ["starve:tap"]
+    # every 7th episode ingests through the server's wire seam
+    # (encode → decode → ingest queue → pump) instead of a receptor
+    via_server = index % 7 == 2
+    starve = "starve:server_wire" if via_server else "starve:tap"
+    policies = list(policy_names()) + [starve]
     case_names = sorted(ORACLE_CASES)
     n_rows = rng.randint(5, 60)
     return EpisodeSpec(
@@ -63,6 +67,7 @@ def _episode_spec(
         batch_fault_rate=0.3 if index % 3 == 0 else 0.0,
         exception_rate=0.15 if index % 6 == 0 else 0.0,
         execution=execution,
+        via_server=via_server,
     )
 
 

@@ -191,6 +191,54 @@ class TestEmitter:
         e.activate()
         assert c1.rows == c2.rows == [(1,)]
 
+    def test_unsubscribe_stops_delivery(self, clock):
+        """Regression: a detached client receives no later firings."""
+        basket = Basket("out", [("v", AtomType.INT)], clock)
+        kept, gone = CollectingClient(), CollectingClient()
+        e = Emitter("e", basket)
+        e.subscribe(kept)
+        e.subscribe(gone)
+        basket.insert_rows([(1,)])
+        e.activate()
+        assert e.unsubscribe(gone) is True
+        assert e.unsubscribe(gone) is False  # second detach is a no-op
+        assert e.subscriber_count == 1
+        basket.insert_rows([(2,)])
+        e.activate()
+        assert kept.rows == [(1,), (2,)]
+        assert gone.rows == [(1,)]
+
+    def test_unsubscribe_channel(self, clock):
+        basket = Basket("out", [("v", AtomType.INT)], clock)
+        sink = InMemoryChannel()
+        e = Emitter("e", basket)
+        e.subscribe_channel(sink)
+        basket.insert_rows([(1,)])
+        e.activate()
+        assert e.unsubscribe_channel(sink) is True
+        assert e.unsubscribe_channel(sink) is False
+        basket.insert_rows([(2,)])
+        e.activate()
+        assert sink.poll() == ["1"]
+
+    def test_closed_channel_detaches_itself(self, clock):
+        basket = Basket("out", [("v", AtomType.INT)], clock)
+        sink = InMemoryChannel()
+        e = Emitter("e", basket)
+        e.subscribe_channel(sink)
+        sink.close()
+        basket.insert_rows([(1,)])
+        e.activate()
+        assert e.subscriber_count == 0
+        assert e.channels_detached == 1
+
+    def test_note_dropped_accounting(self, clock):
+        basket = Basket("out", [("v", AtomType.INT)], clock)
+        e = Emitter("e", basket)
+        e.note_dropped(3)
+        e.note_dropped(2)
+        assert e.deliveries_dropped == 5
+
 
 def _pipeline(clock):
     """Figure 1: receptor -> B1 -> factory -> B2 -> emitter."""

@@ -1,0 +1,223 @@
+"""Session-layer unit tests: the backpressure dial and bindings.
+
+Each of the three queue-full paths — ``block`` (wait, escalate on
+timeout), ``drop-oldest`` (shed), ``disconnect`` (close) — is pinned
+here without sockets; the TCP integration tests only have to prove the
+transport wiring.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServerError
+from repro.kernel.types import AtomType
+from repro.server.protocol import Command, FrameDecoder
+from repro.server.session import (
+    ClientSession,
+    OutputQueue,
+    ServerConfig,
+    SubscriptionBinding,
+)
+
+
+def _decode(frames):
+    decoder = FrameDecoder()
+    out = []
+    for frame in frames:
+        out.extend(decoder.feed(frame))
+    return out
+
+
+class TestServerConfig:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ServerError, match="backpressure"):
+            ServerConfig(backpressure="yolo").validate()
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ServerError, match="queue_frames"):
+            ServerConfig(queue_frames=0).validate()
+
+
+class TestOutputQueueBlock:
+    def test_blocks_until_drained(self):
+        q = OutputQueue("block", capacity=2, block_timeout=10.0)
+        assert q.offer_data(b"a", 1) == "queued"
+        assert q.offer_data(b"b", 1) == "queued"
+        outcome = []
+        producer = threading.Thread(
+            target=lambda: outcome.append(q.offer_data(b"c", 1))
+        )
+        producer.start()
+        time.sleep(0.05)
+        assert not outcome  # still parked on the full queue
+        assert q.drain() == [b"a", b"b"]
+        producer.join(5.0)
+        assert outcome == ["queued"]
+        assert q.blocks == 1
+        assert q.drain() == [b"c"]
+
+    def test_block_timeout_escalates_to_disconnect(self):
+        q = OutputQueue("block", capacity=1, block_timeout=0.05)
+        assert q.offer_data(b"a", 1) == "queued"
+        started = time.monotonic()
+        assert q.offer_data(b"b", 1) == "disconnect"
+        assert time.monotonic() - started >= 0.04
+        assert q.dropped_frames == 0  # nothing shed, just refused
+
+    def test_close_releases_blocked_producer(self):
+        q = OutputQueue("block", capacity=1, block_timeout=10.0)
+        q.offer_data(b"a", 1)
+        outcome = []
+        producer = threading.Thread(
+            target=lambda: outcome.append(q.offer_data(b"b", 1))
+        )
+        producer.start()
+        time.sleep(0.05)
+        q.close()
+        producer.join(5.0)
+        assert outcome == ["closed"]
+
+
+class TestOutputQueueDropOldest:
+    def test_sheds_oldest_data_frame(self):
+        q = OutputQueue("drop-oldest", capacity=2, block_timeout=1.0)
+        q.offer_data(b"a", 3)
+        q.offer_data(b"b", 4)
+        assert q.offer_data(b"c", 5) == "dropped"
+        assert q.drain() == [b"b", b"c"]
+        assert q.dropped_frames == 1
+        assert q.dropped_rows == 3
+
+    def test_control_frames_survive_the_shed(self):
+        q = OutputQueue("drop-oldest", capacity=1, block_timeout=1.0)
+        q.offer_control(b"ctl")
+        q.offer_data(b"a", 1)
+        q.offer_data(b"b", 1)
+        assert q.drain() == [b"ctl", b"b"]
+
+
+class TestOutputQueueDisconnect:
+    def test_full_queue_demands_disconnect(self):
+        q = OutputQueue("disconnect", capacity=1, block_timeout=1.0)
+        assert q.offer_data(b"a", 1) == "queued"
+        assert q.offer_data(b"b", 1) == "disconnect"
+        assert q.drain() == [b"a"]  # the overflowing frame was refused
+
+
+class TestOutputQueueCommon:
+    def test_control_bypasses_the_bound(self):
+        q = OutputQueue("disconnect", capacity=1, block_timeout=1.0)
+        q.offer_data(b"a", 1)
+        for _ in range(5):
+            assert q.offer_control(b"ctl") == "queued"
+        assert q.depth == 6
+
+    def test_closed_refuses_everything(self):
+        q = OutputQueue("block", capacity=1, block_timeout=1.0)
+        q.close()
+        assert q.offer_data(b"a", 1) == "closed"
+        assert q.offer_control(b"c") == "closed"
+
+    def test_drain_limit(self):
+        q = OutputQueue("block", capacity=10, block_timeout=1.0)
+        for i in range(5):
+            q.offer_data(bytes([i]), 1)
+        assert len(q.drain(limit=2)) == 2
+        assert q.depth == 3
+
+
+class TestClientSession:
+    def _session(self, policy, capacity=1):
+        config = ServerConfig(
+            backpressure=policy, queue_frames=capacity, block_timeout=0.05
+        )
+        woke, closed = [], []
+        session = ClientSession(
+            1,
+            config,
+            tenant="acme",
+            wake=lambda: woke.append(1),
+            request_close=closed.append,
+        )
+        return session, woke, closed
+
+    def test_disconnect_path_sends_error_then_closes(self):
+        from repro.server.protocol import data_message, encode_message
+
+        frame = encode_message(
+            data_message("q", [("v", AtomType.INT)], [(1,), (2,)])
+        )
+        session, _, closed = self._session("disconnect")
+        assert session.deliver_data(frame, 2) == "queued"
+        assert session.deliver_data(frame, 2) == "disconnect"
+        assert closed == ["backpressure"]
+        messages = _decode(session.queue.drain())
+        errors = [m for m in messages if m.command is Command.ERROR]
+        assert len(errors) == 1
+        assert errors[0].meta["code"] == "backpressure"
+        assert session.rows_out == 2  # the refused frame is not counted
+
+    def test_stats_shape(self):
+        session, _, _ = self._session("block", capacity=4)
+        session.deliver_data(b"a", 3)
+        stats = session.stats()
+        assert stats["tenant"] == "acme"
+        assert stats["rows_out"] == 3
+        assert stats["queue_depth"] == 1
+        assert stats["dropped_frames"] == 0
+
+
+class _FakeEmitter:
+    def __init__(self):
+        self.dropped = 0
+
+    def note_dropped(self, count):
+        self.dropped += count
+
+
+class TestSubscriptionBinding:
+    COLUMNS = [("v", AtomType.INT)]
+
+    def test_delivers_encoded_data_frames(self):
+        session = ClientSession(1, ServerConfig())
+        binding = SubscriptionBinding(session, "q1", self.COLUMNS)
+        binding([(1,), (2,)])
+        (message,) = _decode(session.queue.drain())
+        assert message.command is Command.DATA
+        assert message.meta["query"] == "q1"
+        assert message.rows() == [(1,), (2,)]
+        assert binding.deliveries == 1
+        assert binding.rows_delivered == 2
+
+    def test_empty_delivery_is_a_noop(self):
+        session = ClientSession(1, ServerConfig())
+        binding = SubscriptionBinding(session, "q1", self.COLUMNS)
+        binding([])
+        assert session.queue.depth == 0
+
+    def test_drop_accounting_reaches_emitter_and_callback(self):
+        config = ServerConfig(backpressure="drop-oldest", queue_frames=1)
+        session = ClientSession(1, config)
+        emitter = _FakeEmitter()
+        drops = []
+        binding = SubscriptionBinding(
+            session,
+            "q1",
+            self.COLUMNS,
+            emitter=emitter,
+            on_drop=lambda q, rows, outcome: drops.append((q, rows, outcome)),
+        )
+        binding([(1,)])
+        binding([(2,), (3,)])  # sheds the first frame
+        assert drops == [("q1", 2, "dropped")]
+        assert emitter.dropped == 2
+        assert session.dropped_frames == 1
+
+    def test_closed_session_swallows_deliveries(self):
+        session = ClientSession(1, ServerConfig())
+        binding = SubscriptionBinding(session, "q1", self.COLUMNS)
+        session.close()
+        binding([(1,)])  # must not raise into the emitter
+        assert binding.deliveries == 0
